@@ -1,0 +1,58 @@
+//! Microbenchmarks of the discrete-event simulation kernel: event
+//! scheduling/dispatch throughput and core-pool accounting — the substrate
+//! everything else's wall-clock cost rests on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use allscale_des::{CorePool, Sim, SimDuration, SimTime};
+
+fn bench_event_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    for &n in &[1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_run", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Sim::new(0u64);
+                for i in 0..n {
+                    sim.schedule(SimDuration::from_nanos((i % 97) as u64), |sim| {
+                        sim.world += 1;
+                    });
+                }
+                sim.run();
+                black_box(sim.world)
+            })
+        });
+    }
+    // Self-rescheduling chain: the pattern of message hand-offs.
+    g.bench_function("event_chain_10k", |b| {
+        fn hop(sim: &mut Sim<u64>) {
+            if sim.world < 10_000 {
+                sim.world += 1;
+                sim.schedule(SimDuration::from_nanos(3), hop);
+            }
+        }
+        b.iter(|| {
+            let mut sim = Sim::new(0u64);
+            sim.schedule(SimDuration::ZERO, hop);
+            sim.run();
+            black_box(sim.world)
+        })
+    });
+    g.finish();
+}
+
+fn bench_core_pool(c: &mut Criterion) {
+    c.bench_function("core_pool/acquire_20cores", |b| {
+        b.iter(|| {
+            let mut pool = CorePool::new(20);
+            let mut last = SimTime::ZERO;
+            for i in 0..1000u64 {
+                let (_, end) = pool.acquire(SimTime::from_nanos(i), SimDuration::from_nanos(50));
+                last = last.max(end);
+            }
+            black_box(last)
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_dispatch, bench_core_pool);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Microbenchmarks of the hierarchical distributed index (paper Fig. 5 +
+//! Algorithm 1) against the central-directory ablation (A1): resolution
+//! cost and hop counts across cluster sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use allscale_core::{CentralIndex, DistIndex, ItemId};
+use allscale_region::{BoxRegion, Region};
+
+fn r1(lo: i64, hi: i64) -> BoxRegion<1> {
+    BoxRegion::cuboid([lo], [hi])
+}
+
+fn populated_dist(procs: usize) -> DistIndex {
+    let mut idx = DistIndex::new(procs);
+    idx.register_item(ItemId(0), &BoxRegion::<1>::empty());
+    for p in 0..procs {
+        let lo = p as i64 * 100;
+        idx.update_leaf(ItemId(0), p, Box::new(r1(lo, lo + 100)));
+    }
+    idx
+}
+
+fn populated_central(procs: usize) -> CentralIndex {
+    let mut idx = CentralIndex::new(procs);
+    idx.register_item(ItemId(0), &BoxRegion::<1>::empty());
+    for p in 0..procs {
+        let lo = p as i64 * 100;
+        idx.update_leaf(ItemId(0), p, Box::new(r1(lo, lo + 100)));
+    }
+    idx
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_resolve");
+    for &procs in &[8usize, 64, 256] {
+        let dist = populated_dist(procs);
+        let central = populated_central(procs);
+        // A local lookup, a sibling lookup, and a cross-cluster lookup.
+        let local = r1(0, 100);
+        let far = r1((procs as i64 - 1) * 100, procs as i64 * 100);
+        let spread = r1(50, (procs as i64) * 100 - 50);
+        g.bench_with_input(BenchmarkId::new("dist_local", procs), &procs, |b, _| {
+            b.iter(|| dist.resolve(ItemId(0), 0, black_box(&local)))
+        });
+        g.bench_with_input(BenchmarkId::new("dist_far", procs), &procs, |b, _| {
+            b.iter(|| dist.resolve(ItemId(0), 0, black_box(&far)))
+        });
+        g.bench_with_input(BenchmarkId::new("dist_spread", procs), &procs, |b, _| {
+            b.iter(|| dist.resolve(ItemId(0), 0, black_box(&spread)))
+        });
+        g.bench_with_input(BenchmarkId::new("central_far", procs), &procs, |b, _| {
+            b.iter(|| central.resolve(ItemId(0), 0, black_box(&far)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_update");
+    for &procs in &[8usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("dist", procs), &procs, |b, _| {
+            let mut idx = populated_dist(procs);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % procs;
+                idx.update_leaf(
+                    ItemId(0),
+                    i,
+                    Box::new(r1(i as i64 * 100, i as i64 * 100 + 100)),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_resolution, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end scheduler throughput: how many (empty) tasks per second the
+//! runtime can assign, place, and complete — the fixed overhead that caps
+//! fine-grained workloads like TPC (paper Algorithm 2 and Section 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use allscale_core::{
+    pfor, Grid, PforSpec, Requirement, RtConfig, RtCtx, Runtime, TaskValue, WorkItem,
+};
+use allscale_region::BoxRegion;
+
+/// Run one pfor of `leaves` single-element tasks on `nodes` nodes and
+/// return (virtual ns, host wall seconds are criterion's concern).
+fn run_tasks(nodes: usize, leaves: i64) {
+    let runtime = Runtime::new(RtConfig::test(nodes, 4));
+    runtime.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            if phase > 0 {
+                return None;
+            }
+            let g = Grid::<u64, 1>::create(ctx, "v", [leaves]);
+            Some(pfor(
+                PforSpec {
+                    name: "noop-tasks",
+                    range: g.full_box(),
+                    grain: 1,
+                    ns_per_point: 100.0,
+                    axis0_pieces: nodes as u64,
+                },
+                move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                move |tctx, p| {
+                    g.set(tctx, p.0, 1);
+                },
+            ))
+        },
+    );
+}
+
+fn bench_task_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    for &nodes in &[1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("assign_place_complete_256_tasks", nodes),
+            &nodes,
+            |b, &nodes| b.iter(|| run_tasks(nodes, 256)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_task_throughput);
+criterion_main!(benches);

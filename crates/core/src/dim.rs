@@ -1,0 +1,638 @@
+//! The per-locality data item manager (paper Section 3.2).
+//!
+//! "A data item manager instance in each AllScale process maintains
+//! fragments of data items and actively manages contained data by
+//! performing resizing, import, and export operations. Furthermore, the
+//! data item manager keeps track of the lock states Lr and Lw of locally
+//! maintained data item regions."
+//!
+//! Each locality owns one [`DataItemManager`]. It distinguishes:
+//!
+//! - the **owned** region of each item — the primary copy, registered in
+//!   the distributed index;
+//! - **replica** coverage — read-only copies imported for the duration of
+//!   a task (released at task end, per the model's lock discipline);
+//! - **exports** — records of *our* owned data currently replicated at
+//!   other localities; a write lock cannot be granted while an export of
+//!   the region is outstanding (the model's exclusive-writes property).
+
+use std::collections::BTreeMap;
+
+use crate::dynamic::{DynFragment, DynRegion, ItemDescriptor};
+use crate::task::{AccessMode, ItemId, Requirement, TaskId};
+
+/// Why a lock could not be granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockConflict {
+    /// The region overlaps a write lock held by another task.
+    WriteLocked(ItemId),
+    /// A write was requested on a region overlapping a read lock.
+    ReadLocked(ItemId),
+    /// A write was requested while replicas of the region are outstanding
+    /// at other localities.
+    Exported(ItemId),
+}
+
+struct ItemSlot {
+    desc: ItemDescriptor,
+    frag: Box<dyn DynFragment>,
+    /// Primary-ownership region (what the index advertises for us).
+    owned: Box<dyn DynRegion>,
+    /// Granted read locks.
+    rlocks: Vec<(TaskId, Box<dyn DynRegion>)>,
+    /// Granted write locks.
+    wlocks: Vec<(TaskId, Box<dyn DynRegion>)>,
+    /// Replicas of our owned data held elsewhere: (holder, reading task,
+    /// region).
+    exports: Vec<(usize, TaskId, Box<dyn DynRegion>)>,
+    /// Transient replica coverage imported here, per holding task.
+    holds: Vec<(TaskId, Box<dyn DynRegion>)>,
+    /// Persistent replica coverage (broadcast read-mostly data).
+    persistent: Box<dyn DynRegion>,
+}
+
+/// The data item manager of one locality.
+pub struct DataItemManager {
+    locality: usize,
+    items: BTreeMap<ItemId, ItemSlot>,
+}
+
+impl DataItemManager {
+    /// The manager for `locality`.
+    pub fn new(locality: usize) -> Self {
+        DataItemManager {
+            locality,
+            items: BTreeMap::new(),
+        }
+    }
+
+    /// The locality this manager belongs to.
+    pub fn locality(&self) -> usize {
+        self.locality
+    }
+
+    /// Register a data item (the paper's `create` action, executed on every
+    /// locality — creation allocates nothing).
+    pub fn register(&mut self, item: ItemId, desc: ItemDescriptor) {
+        let frag = (desc.empty_fragment)();
+        let owned = (desc.empty_region)();
+        let persistent = (desc.empty_region)();
+        self.items.insert(
+            item,
+            ItemSlot {
+                desc,
+                frag,
+                owned,
+                rlocks: Vec::new(),
+                wlocks: Vec::new(),
+                exports: Vec::new(),
+                holds: Vec::new(),
+                persistent,
+            },
+        );
+    }
+
+    /// Remove a data item entirely (the paper's `destroy` action).
+    pub fn destroy(&mut self, item: ItemId) {
+        self.items.remove(&item);
+    }
+
+    /// Whether the item is registered here.
+    pub fn knows(&self, item: ItemId) -> bool {
+        self.items.contains_key(&item)
+    }
+
+    /// The descriptor of an item.
+    pub fn descriptor(&self, item: ItemId) -> &ItemDescriptor {
+        &self.slot(item).desc
+    }
+
+    /// The region this locality owns (primary copies).
+    pub fn owned_region(&self, item: ItemId) -> Box<dyn DynRegion> {
+        self.slot(item).owned.clone_box()
+    }
+
+    /// The full coverage of the local fragment (owned + replicas).
+    pub fn covered_region(&self, item: ItemId) -> Box<dyn DynRegion> {
+        self.slot(item).frag.region_dyn()
+    }
+
+    /// Whether `region` is fully covered by local data.
+    pub fn covers(&self, item: ItemId, region: &dyn DynRegion) -> bool {
+        region
+            .difference_dyn(self.slot(item).frag.region_dyn().as_ref())
+            .is_empty_dyn()
+    }
+
+    /// The region a *new* task may rely on for reads without fetching:
+    /// owned data plus persistent replicas. Transient replicas held by
+    /// other tasks are excluded — they may be dropped at any completion.
+    pub fn read_base(&self, item: ItemId) -> Box<dyn DynRegion> {
+        let slot = self.slot(item);
+        slot.owned.union_dyn(slot.persistent.as_ref())
+    }
+
+    /// Whether `region` is covered by the stable read base.
+    pub fn covers_stable(&self, item: ItemId, region: &dyn DynRegion) -> bool {
+        region
+            .difference_dyn(self.read_base(item).as_ref())
+            .is_empty_dyn()
+    }
+
+    /// First-touch allocation (the model's (init) rule): extend ownership
+    /// and allocate default-initialized storage for `region`.
+    pub fn init_owned(&mut self, item: ItemId, region: &dyn DynRegion) {
+        let slot = self.slot_mut(item);
+        let fresh = (slot.desc.alloc_fragment)(region);
+        // Do not clobber data we already hold: only insert the truly new
+        // part, then union ownership.
+        let missing = region.difference_dyn(slot.frag.region_dyn().as_ref());
+        if !missing.is_empty_dyn() {
+            let fresh_missing = fresh.extract_dyn(missing.as_ref());
+            slot.frag.insert_dyn(fresh_missing.as_ref());
+        }
+        slot.owned = slot.owned.union_dyn(region);
+    }
+
+    /// Export (copy out) `region` of our data as serialized bytes for a
+    /// transfer; the export is recorded against `task` at `holder` when the
+    /// transfer is a replica (read), so writes can be fenced.
+    pub fn export_replica(
+        &mut self,
+        item: ItemId,
+        region: &dyn DynRegion,
+        holder: usize,
+        task: TaskId,
+    ) -> Vec<u8> {
+        let slot = self.slot_mut(item);
+        let sub = slot.frag.extract_dyn(region);
+        let bytes = sub.encode();
+        slot.exports.push((holder, task, region.clone_box()));
+        bytes
+    }
+
+    /// Extract `region` for a migration: data and ownership leave this
+    /// locality.
+    pub fn export_migration(&mut self, item: ItemId, region: &dyn DynRegion) -> Vec<u8> {
+        let slot = self.slot_mut(item);
+        let sub = slot.frag.extract_dyn(region);
+        let bytes = sub.encode();
+        slot.frag.remove_dyn(region);
+        slot.owned = slot.owned.difference_dyn(region);
+        bytes
+    }
+
+    /// Import serialized fragment data as a read replica held by `task`
+    /// for the duration of its execution.
+    pub fn import_replica(&mut self, item: ItemId, bytes: &[u8], task: TaskId) {
+        let slot = self.slot_mut(item);
+        let frag = (slot.desc.decode_fragment)(bytes);
+        let region = frag.region_dyn();
+        slot.frag.insert_dyn(frag.as_ref());
+        slot.holds.push((task, region));
+    }
+
+    /// Import serialized fragment data as a persistent replica (broadcast
+    /// read-mostly data, e.g. the top levels of a static tree).
+    pub fn import_persistent(&mut self, item: ItemId, bytes: &[u8]) {
+        let slot = self.slot_mut(item);
+        let frag = (slot.desc.decode_fragment)(bytes);
+        let region = frag.region_dyn();
+        slot.frag.insert_dyn(frag.as_ref());
+        slot.persistent = slot.persistent.union_dyn(region.as_ref());
+    }
+
+    /// Import serialized fragment data as owned (migration arrival).
+    pub fn import_owned(&mut self, item: ItemId, bytes: &[u8]) {
+        let slot = self.slot_mut(item);
+        let frag = (slot.desc.decode_fragment)(bytes);
+        let region = frag.region_dyn();
+        slot.frag.insert_dyn(frag.as_ref());
+        slot.owned = slot.owned.union_dyn(region.as_ref());
+    }
+
+    /// Release the export records of `task` (its replicas elsewhere were
+    /// dropped). Returns whether anything was released.
+    pub fn release_exports_of(&mut self, item: ItemId, task: TaskId) -> bool {
+        let slot = self.slot_mut(item);
+        let before = slot.exports.len();
+        slot.exports.retain(|(_, t, _)| *t != task);
+        slot.exports.len() != before
+    }
+
+    /// Release `task`'s transient replica holds of `item`; physical data is
+    /// dropped only where no other task (and no persistent replica or
+    /// owned region) still covers it — the model's "runtime can remove
+    /// replicated data" with reference counting.
+    pub fn drop_replica_holds(&mut self, item: ItemId, task: TaskId) {
+        let slot = self.slot_mut(item);
+        let mut released: Option<Box<dyn DynRegion>> = None;
+        slot.holds.retain(|(t, r)| {
+            if *t == task {
+                released = Some(match released.take() {
+                    None => r.clone_box(),
+                    Some(acc) => acc.union_dyn(r.as_ref()),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        let Some(mut drop) = released else { return };
+        drop = drop.difference_dyn(slot.owned.as_ref());
+        drop = drop.difference_dyn(slot.persistent.as_ref());
+        for (_, r) in &slot.holds {
+            if drop.is_empty_dyn() {
+                break;
+            }
+            drop = drop.difference_dyn(r.as_ref());
+        }
+        if !drop.is_empty_dyn() {
+            slot.frag.remove_dyn(drop.as_ref());
+        }
+    }
+
+    /// Try to acquire the locks for all `reqs` on behalf of `task`
+    /// (atomically: either all granted or none).
+    pub fn try_lock(&mut self, task: TaskId, reqs: &[Requirement]) -> Result<(), LockConflict> {
+        // Validation pass.
+        for req in reqs {
+            let slot = self.slot(req.item);
+            let region = req.region.as_ref();
+            match req.mode {
+                AccessMode::Read => {
+                    for (t, w) in &slot.wlocks {
+                        if *t != task && !w.intersect_dyn(region).is_empty_dyn() {
+                            return Err(LockConflict::WriteLocked(req.item));
+                        }
+                    }
+                }
+                AccessMode::Write => {
+                    for (t, w) in &slot.wlocks {
+                        if *t != task && !w.intersect_dyn(region).is_empty_dyn() {
+                            return Err(LockConflict::WriteLocked(req.item));
+                        }
+                    }
+                    for (t, r) in &slot.rlocks {
+                        if *t != task && !r.intersect_dyn(region).is_empty_dyn() {
+                            return Err(LockConflict::ReadLocked(req.item));
+                        }
+                    }
+                    for (_, _, e) in &slot.exports {
+                        if !e.intersect_dyn(region).is_empty_dyn() {
+                            return Err(LockConflict::Exported(req.item));
+                        }
+                    }
+                }
+            }
+        }
+        // Grant pass.
+        for req in reqs {
+            let slot = self.slot_mut(req.item);
+            match req.mode {
+                AccessMode::Read => slot.rlocks.push((task, req.region.clone_box())),
+                AccessMode::Write => slot.wlocks.push((task, req.region.clone_box())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any lock at all is currently held on `item`.
+    pub fn has_locks(&self, item: ItemId) -> bool {
+        let slot = self.slot(item);
+        !slot.rlocks.is_empty() || !slot.wlocks.is_empty()
+    }
+
+    /// Whether any lock (read or write) intersects `region`.
+    pub fn locked_any(&self, item: ItemId, region: &dyn DynRegion) -> bool {
+        let slot = self.slot(item);
+        slot.wlocks
+            .iter()
+            .chain(slot.rlocks.iter())
+            .any(|(_, r)| !r.intersect_dyn(region).is_empty_dyn())
+    }
+
+    /// Whether a write lock intersects `region`.
+    pub fn write_locked(&self, item: ItemId, region: &dyn DynRegion) -> bool {
+        let slot = self.slot(item);
+        slot.wlocks
+            .iter()
+            .any(|(_, r)| !r.intersect_dyn(region).is_empty_dyn())
+    }
+
+    /// Whether an outstanding export intersects `region`.
+    pub fn exported(&self, item: ItemId, region: &dyn DynRegion) -> bool {
+        let slot = self.slot(item);
+        slot.exports
+            .iter()
+            .any(|(_, _, r)| !r.intersect_dyn(region).is_empty_dyn())
+    }
+
+    /// Release every lock held by `task` (the model's (end) rule).
+    pub fn unlock_all(&mut self, task: TaskId) {
+        for slot in self.items.values_mut() {
+            slot.rlocks.retain(|(t, _)| *t != task);
+            slot.wlocks.retain(|(t, _)| *t != task);
+        }
+    }
+
+    /// Type-erased fragment access for [`crate::task::TaskCtx`].
+    pub(crate) fn fragment_any(&self, item: ItemId) -> &dyn std::any::Any {
+        self.slot(item).frag.as_any()
+    }
+
+    /// Type-erased mutable fragment access.
+    pub(crate) fn fragment_any_mut(&mut self, item: ItemId) -> &mut dyn std::any::Any {
+        self.slot_mut(item).frag.as_any_mut()
+    }
+
+    /// Split-borrow two distinct items.
+    pub(crate) fn fragment_pair_any(
+        &mut self,
+        a: ItemId,
+        b: ItemId,
+    ) -> (&dyn std::any::Any, &mut dyn std::any::Any) {
+        assert_ne!(a, b, "fragment_pair_mut requires distinct items");
+        // Obtain two mutable references via a double lookup on the map.
+        // BTreeMap has no get_many_mut; use pointer juggling through
+        // iter_mut, which yields disjoint &mut.
+        let mut fa: Option<*const dyn std::any::Any> = None;
+        let mut fb: Option<&mut Box<dyn DynFragment>> = None;
+        for (k, slot) in self.items.iter_mut() {
+            if *k == a {
+                fa = Some(slot.frag.as_any() as *const _);
+            } else if *k == b {
+                fb = Some(&mut slot.frag);
+            }
+        }
+        let fa = fa.expect("unknown item in fragment_pair");
+        let fb = fb.expect("unknown item in fragment_pair");
+        // SAFETY: `a != b`, so the two references point into different map
+        // slots; the shared ref for `a` cannot alias the unique ref for `b`.
+        (unsafe { &*fa }, fb.as_any_mut())
+    }
+
+    /// All registered items.
+    pub fn item_ids(&self) -> Vec<ItemId> {
+        self.items.keys().copied().collect()
+    }
+
+    /// Serialize the *owned* portion of every item — the checkpointing
+    /// payload of the resilience manager.
+    pub fn checkpoint(&self) -> Vec<(ItemId, Vec<u8>)> {
+        self.items
+            .iter()
+            .map(|(&id, slot)| {
+                let owned_data = slot.frag.extract_dyn(slot.owned.as_ref());
+                (id, owned_data.encode())
+            })
+            .collect()
+    }
+
+    /// Restore owned data from a checkpoint produced by
+    /// [`DataItemManager::checkpoint`]. Items must be registered already.
+    pub fn restore(&mut self, snapshot: &[(ItemId, Vec<u8>)]) {
+        for (id, bytes) in snapshot {
+            let slot = self.slot_mut(*id);
+            let frag = (slot.desc.decode_fragment)(bytes);
+            let region = frag.region_dyn();
+            slot.frag = frag;
+            slot.owned = region;
+            slot.rlocks.clear();
+            slot.wlocks.clear();
+            slot.exports.clear();
+        }
+    }
+
+    fn slot(&self, item: ItemId) -> &ItemSlot {
+        self.items
+            .get(&item)
+            .unwrap_or_else(|| panic!("unknown data item {item:?}"))
+    }
+
+    fn slot_mut(&mut self, item: ItemId) -> &mut ItemSlot {
+        self.items
+            .get_mut(&item)
+            .unwrap_or_else(|| panic!("unknown data item {item:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::ItemDescriptor;
+    use allscale_region::{BoxRegion, GridFragment, ItemType, Point};
+
+    struct G2;
+    impl ItemType for G2 {
+        type Region = BoxRegion<2>;
+        type Fragment = GridFragment<f64, 2>;
+        const BYTES_PER_ELEMENT: usize = 8;
+    }
+
+    fn mk() -> DataItemManager {
+        let mut dim = DataItemManager::new(0);
+        dim.register(ItemId(0), ItemDescriptor::of::<G2>("grid"));
+        dim
+    }
+
+    fn r2(lo: [i64; 2], hi: [i64; 2]) -> BoxRegion<2> {
+        BoxRegion::cuboid(lo, hi)
+    }
+
+    #[test]
+    fn init_allocates_defaults() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        assert!(dim.covers(ItemId(0), &r2([1, 1], [3, 3])));
+        assert!(!dim.covers(ItemId(0), &r2([0, 0], [5, 5])));
+        let frag = dim
+            .fragment_any(ItemId(0))
+            .downcast_ref::<GridFragment<f64, 2>>()
+            .unwrap();
+        assert_eq!(frag.get(&Point([2, 2])), Some(&0.0));
+    }
+
+    #[test]
+    fn init_does_not_clobber_existing_values() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [2, 2]));
+        dim.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([1, 1]), 5.0);
+        // Re-init an overlapping region: existing value must survive.
+        dim.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        let frag = dim
+            .fragment_any(ItemId(0))
+            .downcast_ref::<GridFragment<f64, 2>>()
+            .unwrap();
+        assert_eq!(frag.get(&Point([1, 1])), Some(&5.0));
+        assert_eq!(frag.get(&Point([3, 3])), Some(&0.0));
+    }
+
+    #[test]
+    fn migration_moves_ownership_and_data() {
+        let mut a = mk();
+        let mut b = {
+            let mut dim = DataItemManager::new(1);
+            dim.register(ItemId(0), ItemDescriptor::of::<G2>("grid"));
+            dim
+        };
+        a.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        a.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([3, 0]), 7.0);
+        let moved = a.export_migration(ItemId(0), &r2([2, 0], [4, 4]));
+        b.import_owned(ItemId(0), &moved);
+        assert!(a.owned_region(ItemId(0)).eq_dyn(&r2([0, 0], [2, 4])));
+        assert!(b.owned_region(ItemId(0)).eq_dyn(&r2([2, 0], [4, 4])));
+        let frag = b
+            .fragment_any(ItemId(0))
+            .downcast_ref::<GridFragment<f64, 2>>()
+            .unwrap();
+        assert_eq!(frag.get(&Point([3, 0])), Some(&7.0));
+    }
+
+    #[test]
+    fn read_locks_share_write_locks_exclude() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [8, 8]));
+        let t1 = TaskId(1);
+        let t2 = TaskId(2);
+        // Two overlapping readers: fine.
+        dim.try_lock(t1, &[Requirement::read(ItemId(0), r2([0, 0], [4, 4]))])
+            .unwrap();
+        dim.try_lock(t2, &[Requirement::read(ItemId(0), r2([2, 2], [6, 6]))])
+            .unwrap();
+        // Writer overlapping a read lock: rejected.
+        let w = dim.try_lock(TaskId(3), &[Requirement::write(ItemId(0), r2([3, 3], [5, 5]))]);
+        assert_eq!(w, Err(LockConflict::ReadLocked(ItemId(0))));
+        // Disjoint writer: granted.
+        dim.try_lock(TaskId(3), &[Requirement::write(ItemId(0), r2([6, 6], [8, 8]))])
+            .unwrap();
+        // Reader overlapping the write: rejected.
+        let r = dim.try_lock(TaskId(4), &[Requirement::read(ItemId(0), r2([7, 7], [8, 8]))]);
+        assert_eq!(r, Err(LockConflict::WriteLocked(ItemId(0))));
+        // Unlock the readers; now the writer over their region succeeds.
+        dim.unlock_all(t1);
+        dim.unlock_all(t2);
+        dim.try_lock(TaskId(5), &[Requirement::write(ItemId(0), r2([3, 3], [5, 5]))])
+            .unwrap();
+    }
+
+    #[test]
+    fn lock_acquisition_is_atomic() {
+        let mut dim = mk();
+        dim.register(ItemId(1), ItemDescriptor::of::<G2>("grid2"));
+        dim.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        dim.init_owned(ItemId(1), &r2([0, 0], [4, 4]));
+        dim.try_lock(TaskId(1), &[Requirement::write(ItemId(1), r2([0, 0], [4, 4]))])
+            .unwrap();
+        // Request locks on item0 (free) and item1 (conflicting): must fail
+        // without granting the item0 lock.
+        let res = dim.try_lock(
+            TaskId(2),
+            &[
+                Requirement::write(ItemId(0), r2([0, 0], [2, 2])),
+                Requirement::write(ItemId(1), r2([0, 0], [1, 1])),
+            ],
+        );
+        assert!(res.is_err());
+        // Item0 must still be lockable by someone else in full.
+        dim.try_lock(TaskId(3), &[Requirement::write(ItemId(0), r2([0, 0], [4, 4]))])
+            .unwrap();
+    }
+
+    #[test]
+    fn exports_fence_writers() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        let bytes = dim.export_replica(ItemId(0), &r2([0, 0], [2, 2]), 1, TaskId(9));
+        assert!(!bytes.is_empty());
+        // Writing the exported region is fenced.
+        let res = dim.try_lock(TaskId(1), &[Requirement::write(ItemId(0), r2([1, 1], [3, 3]))]);
+        assert_eq!(res, Err(LockConflict::Exported(ItemId(0))));
+        // Reads are fine.
+        dim.try_lock(TaskId(2), &[Requirement::read(ItemId(0), r2([1, 1], [3, 3]))])
+            .unwrap();
+        // After release (and the reader finishing), the writer proceeds.
+        assert!(dim.release_exports_of(ItemId(0), TaskId(9)));
+        dim.unlock_all(TaskId(2));
+        dim.try_lock(TaskId(1), &[Requirement::write(ItemId(0), r2([1, 1], [3, 3]))])
+            .unwrap();
+    }
+
+    #[test]
+    fn replica_import_and_drop() {
+        let mut owner = mk();
+        let mut reader = {
+            let mut dim = DataItemManager::new(1);
+            dim.register(ItemId(0), ItemDescriptor::of::<G2>("grid"));
+            dim
+        };
+        owner.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        owner
+            .fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([1, 1]), 3.5);
+        reader.init_owned(ItemId(0), &r2([4, 0], [8, 4]));
+        let bytes = owner.export_replica(ItemId(0), &r2([0, 0], [2, 4]), 1, TaskId(1));
+        reader.import_replica(ItemId(0), &bytes, TaskId(1));
+        assert!(reader.covers(ItemId(0), &r2([1, 1], [2, 2])));
+        // Replica values visible.
+        let frag = reader
+            .fragment_any(ItemId(0))
+            .downcast_ref::<GridFragment<f64, 2>>()
+            .unwrap();
+        assert_eq!(frag.get(&Point([1, 1])), Some(&3.5));
+        // Dropping the replica must not touch owned data.
+        reader.drop_replica_holds(ItemId(0), TaskId(1));
+        assert!(!reader.covers(ItemId(0), &r2([1, 1], [2, 2])));
+        assert!(reader.covers(ItemId(0), &r2([4, 0], [8, 4])));
+
+        // Refcounting: overlapping holds of two tasks survive one drop.
+        let bytes2 = owner.export_replica(ItemId(0), &r2([0, 0], [2, 4]), 1, TaskId(2));
+        reader.import_replica(ItemId(0), &bytes2, TaskId(2));
+        let bytes3 = owner.export_replica(ItemId(0), &r2([0, 0], [1, 4]), 1, TaskId(3));
+        reader.import_replica(ItemId(0), &bytes3, TaskId(3));
+        reader.drop_replica_holds(ItemId(0), TaskId(2));
+        assert!(reader.covers(ItemId(0), &r2([0, 0], [1, 4])), "task 3 hold survives");
+        assert!(!reader.covers(ItemId(0), &r2([1, 0], [2, 4])), "task 2 part dropped");
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [3, 3]));
+        dim.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([2, 2]), 11.0);
+        let snap = dim.checkpoint();
+
+        // Corrupt the state, then restore.
+        dim.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([2, 2]), -1.0);
+        dim.restore(&snap);
+        let frag = dim
+            .fragment_any(ItemId(0))
+            .downcast_ref::<GridFragment<f64, 2>>()
+            .unwrap();
+        assert_eq!(frag.get(&Point([2, 2])), Some(&11.0));
+        assert!(dim.owned_region(ItemId(0)).eq_dyn(&r2([0, 0], [3, 3])));
+    }
+
+    #[test]
+    fn destroy_removes_item() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [2, 2]));
+        assert!(dim.knows(ItemId(0)));
+        dim.destroy(ItemId(0));
+        assert!(!dim.knows(ItemId(0)));
+    }
+}

@@ -1,0 +1,266 @@
+//! Type erasure for user-defined data items.
+//!
+//! The paper's central claim is that the runtime can manage *user-defined*
+//! data structures generically. The statically typed side of that bargain
+//! lives in `allscale-region` ([`Region`], [`Fragment`], [`ItemType`]);
+//! this module provides the dynamically typed counterpart the runtime's
+//! data item manager, index, and scheduler operate on: [`DynRegion`] and
+//! [`DynFragment`] trait objects plus a per-item [`ItemDescriptor`] vtable
+//! for decoding serialized fragments arriving from other localities.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use allscale_net::wire;
+use allscale_region::{Fragment, ItemType, Region};
+
+/// A type-erased region: the Boolean algebra of [`Region`] behind a trait
+/// object. Binary operations panic when the two operands have different
+/// concrete types — mixing regions of different data items is a runtime
+/// bug, not a recoverable condition.
+pub trait DynRegion: fmt::Debug {
+    /// Clone into a new box.
+    fn clone_box(&self) -> Box<dyn DynRegion>;
+    /// Set union with a region of the same concrete type.
+    fn union_dyn(&self, other: &dyn DynRegion) -> Box<dyn DynRegion>;
+    /// Set intersection with a region of the same concrete type.
+    fn intersect_dyn(&self, other: &dyn DynRegion) -> Box<dyn DynRegion>;
+    /// Set difference with a region of the same concrete type.
+    fn difference_dyn(&self, other: &dyn DynRegion) -> Box<dyn DynRegion>;
+    /// Whether the region is empty.
+    fn is_empty_dyn(&self) -> bool;
+    /// Semantic equality with a region of the same concrete type.
+    fn eq_dyn(&self, other: &dyn DynRegion) -> bool;
+    /// Serialize for transmission (control-plane sizing is billed off the
+    /// encoded length).
+    fn encode(&self) -> Vec<u8>;
+    /// Downcasting support.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<R: Region> DynRegion for R {
+    fn clone_box(&self) -> Box<dyn DynRegion> {
+        Box::new(self.clone())
+    }
+    fn union_dyn(&self, other: &dyn DynRegion) -> Box<dyn DynRegion> {
+        Box::new(self.union(downcast::<R>(other)))
+    }
+    fn intersect_dyn(&self, other: &dyn DynRegion) -> Box<dyn DynRegion> {
+        Box::new(self.intersect(downcast::<R>(other)))
+    }
+    fn difference_dyn(&self, other: &dyn DynRegion) -> Box<dyn DynRegion> {
+        Box::new(self.difference(downcast::<R>(other)))
+    }
+    fn is_empty_dyn(&self) -> bool {
+        self.is_empty()
+    }
+    fn eq_dyn(&self, other: &dyn DynRegion) -> bool {
+        self == downcast::<R>(other)
+    }
+    fn encode(&self) -> Vec<u8> {
+        wire::encode(self).expect("region serialization cannot fail")
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Clone for Box<dyn DynRegion> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Downcast a dyn region to its concrete type.
+///
+/// # Panics
+/// Panics when the concrete types differ — regions of different item types
+/// must never be combined.
+pub fn downcast<R: Region>(r: &dyn DynRegion) -> &R {
+    r.as_any()
+        .downcast_ref::<R>()
+        .expect("mixed region types in a single data item operation")
+}
+
+/// A type-erased fragment held by a locality's data item manager.
+pub trait DynFragment {
+    /// The region currently covered.
+    fn region_dyn(&self) -> Box<dyn DynRegion>;
+    /// Copy out a sub-fragment (type-erased [`Fragment::extract`]).
+    fn extract_dyn(&self, region: &dyn DynRegion) -> Box<dyn DynFragment>;
+    /// Merge another fragment of the same concrete type.
+    fn insert_dyn(&mut self, other: &dyn DynFragment);
+    /// Drop coverage of a region.
+    fn remove_dyn(&mut self, region: &dyn DynRegion);
+    /// Serialize the fragment for transmission between address spaces.
+    fn encode(&self) -> Vec<u8>;
+    /// Approximate serialized size (transfer-cost estimation).
+    fn approx_bytes(&self) -> usize;
+    /// Downcasting support.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<F: Fragment> DynFragment for F {
+    fn region_dyn(&self) -> Box<dyn DynRegion> {
+        Box::new(self.region())
+    }
+    fn extract_dyn(&self, region: &dyn DynRegion) -> Box<dyn DynFragment> {
+        Box::new(self.extract(downcast::<F::Region>(region)))
+    }
+    fn insert_dyn(&mut self, other: &dyn DynFragment) {
+        let other = other
+            .as_any()
+            .downcast_ref::<F>()
+            .expect("mixed fragment types in a single data item operation");
+        self.insert(other);
+    }
+    fn remove_dyn(&mut self, region: &dyn DynRegion) {
+        self.remove(downcast::<F::Region>(region));
+    }
+    fn encode(&self) -> Vec<u8> {
+        wire::encode(self).expect("fragment serialization cannot fail")
+    }
+    fn approx_bytes(&self) -> usize {
+        Fragment::approx_bytes(self)
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The per-item vtable: everything the runtime needs to handle a data item
+/// whose concrete types it does not know.
+#[derive(Clone)]
+#[allow(clippy::type_complexity)] // the vtable IS the type; aliases would obscure it
+pub struct ItemDescriptor {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Estimated serialized bytes per element.
+    pub bytes_per_element: usize,
+    /// Construct an empty fragment.
+    pub empty_fragment: Arc<dyn Fn() -> Box<dyn DynFragment>>,
+    /// Allocate a default-initialized fragment over a region (first-touch
+    /// allocation, the paper's (init) rule).
+    pub alloc_fragment: Arc<dyn Fn(&dyn DynRegion) -> Box<dyn DynFragment>>,
+    /// The empty region of this item's region scheme.
+    pub empty_region: Arc<dyn Fn() -> Box<dyn DynRegion>>,
+    /// Decode a fragment received from another locality.
+    pub decode_fragment: Arc<dyn Fn(&[u8]) -> Box<dyn DynFragment>>,
+    /// Decode a region received from another locality.
+    pub decode_region: Arc<dyn Fn(&[u8]) -> Box<dyn DynRegion>>,
+}
+
+impl ItemDescriptor {
+    /// Build the descriptor for a statically known [`ItemType`].
+    pub fn of<I: ItemType>(name: &'static str) -> Self {
+        ItemDescriptor {
+            name,
+            bytes_per_element: I::BYTES_PER_ELEMENT,
+            empty_fragment: Arc::new(|| Box::new(I::Fragment::empty())),
+            alloc_fragment: Arc::new(|region| {
+                Box::new(I::Fragment::alloc(downcast::<I::Region>(region)))
+            }),
+            empty_region: Arc::new(|| Box::new(I::Region::empty())),
+            decode_fragment: Arc::new(|bytes| {
+                Box::new(
+                    wire::decode::<I::Fragment>(bytes)
+                        .expect("fragment decode failed: corrupted transfer"),
+                )
+            }),
+            decode_region: Arc::new(|bytes| {
+                Box::new(
+                    wire::decode::<I::Region>(bytes)
+                        .expect("region decode failed: corrupted transfer"),
+                )
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for ItemDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ItemDescriptor({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allscale_region::{BoxRegion, GridFragment};
+
+    struct Grid2;
+    impl ItemType for Grid2 {
+        type Region = BoxRegion<2>;
+        type Fragment = GridFragment<f64, 2>;
+        const BYTES_PER_ELEMENT: usize = 8;
+    }
+
+    fn r2(lo: [i64; 2], hi: [i64; 2]) -> BoxRegion<2> {
+        BoxRegion::cuboid(lo, hi)
+    }
+
+    #[test]
+    fn dyn_region_algebra_matches_static() {
+        let a: Box<dyn DynRegion> = Box::new(r2([0, 0], [4, 4]));
+        let b: Box<dyn DynRegion> = Box::new(r2([2, 2], [6, 6]));
+        let u = a.union_dyn(b.as_ref());
+        let i = a.intersect_dyn(b.as_ref());
+        let d = a.difference_dyn(b.as_ref());
+        assert!(u.eq_dyn(&r2([0, 0], [4, 4]).union(&r2([2, 2], [6, 6]))));
+        assert!(i.eq_dyn(&r2([2, 2], [4, 4])));
+        assert!(d.eq_dyn(&r2([0, 0], [4, 4]).difference(&r2([2, 2], [4, 4]))));
+        assert!(!u.is_empty_dyn());
+    }
+
+    #[test]
+    fn descriptor_round_trips_fragments() {
+        let desc = ItemDescriptor::of::<Grid2>("grid");
+        let mut f = GridFragment::<f64, 2>::new(&r2([0, 0], [3, 3]));
+        f.set(&allscale_region::Point([1, 2]), 7.5);
+        let bytes = DynFragment::encode(&f);
+        let back = (desc.decode_fragment)(&bytes);
+        let typed = back.as_any().downcast_ref::<GridFragment<f64, 2>>().unwrap();
+        assert_eq!(typed.get(&allscale_region::Point([1, 2])), Some(&7.5));
+    }
+
+    #[test]
+    fn descriptor_round_trips_regions() {
+        let desc = ItemDescriptor::of::<Grid2>("grid");
+        let r = r2([0, 0], [5, 5]).difference(&r2([1, 1], [2, 2]));
+        let bytes = DynRegion::encode(&r);
+        let back = (desc.decode_region)(&bytes);
+        assert!(back.eq_dyn(&r));
+    }
+
+    #[test]
+    fn dyn_fragment_extract_insert() {
+        let mut f: Box<dyn DynFragment> = Box::new(GridFragment::<f64, 2>::new(&r2([0, 0], [4, 4])));
+        {
+            let typed = f
+                .as_any_mut()
+                .downcast_mut::<GridFragment<f64, 2>>()
+                .unwrap();
+            typed.set(&allscale_region::Point([3, 3]), 9.0);
+        }
+        let sub = f.extract_dyn(&r2([3, 3], [4, 4]));
+        let mut g: Box<dyn DynFragment> = (ItemDescriptor::of::<Grid2>("grid").empty_fragment)();
+        g.insert_dyn(sub.as_ref());
+        let typed = g.as_any().downcast_ref::<GridFragment<f64, 2>>().unwrap();
+        assert_eq!(typed.get(&allscale_region::Point([3, 3])), Some(&9.0));
+        assert!(g.region_dyn().eq_dyn(&r2([3, 3], [4, 4])));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed region types")]
+    fn mixing_region_types_panics() {
+        let a: Box<dyn DynRegion> = Box::new(r2([0, 0], [1, 1]));
+        let b: Box<dyn DynRegion> = Box::new(allscale_region::IntervalRegion::span(0, 5));
+        let _ = a.union_dyn(b.as_ref());
+    }
+}

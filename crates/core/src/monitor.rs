@@ -1,0 +1,191 @@
+//! Runtime monitoring (paper Section 3.2's "extended monitoring
+//! infrastructure", scoped to what the experiments need): per-locality
+//! execution counters and cluster-wide aggregates, reported at the end of
+//! every run.
+
+use allscale_des::{SimTime, Tally};
+
+/// Counters of one locality.
+#[derive(Debug, Clone, Default)]
+pub struct LocalityStats {
+    /// Process-variant executions.
+    pub tasks_executed: u64,
+    /// Split-variant executions.
+    pub tasks_split: u64,
+    /// Virtual core-nanoseconds of task compute (incl. overhead).
+    pub busy_ns: u64,
+    /// Messages sent from this locality.
+    pub msgs_sent: u64,
+    /// Payload bytes sent from this locality.
+    pub bytes_sent: u64,
+    /// Read replicas imported.
+    pub replicas_in: u64,
+    /// Region migrations received (ownership transfers in).
+    pub migrations_in: u64,
+    /// First-touch allocations performed.
+    pub first_touch: u64,
+    /// Times a task had to be parked on a lock conflict.
+    pub lock_conflicts: u64,
+}
+
+/// Cluster-wide monitoring state.
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    /// Per-locality counters.
+    pub per_locality: Vec<LocalityStats>,
+    /// Hops crossed by index lookups (Algorithm 1 traffic).
+    pub index_lookup_hops: u64,
+    /// Hops crossed by index updates.
+    pub index_update_hops: u64,
+    /// Index lookups performed.
+    pub index_lookups: u64,
+    /// Distribution of task compute durations (ns).
+    pub task_durations: Tally,
+}
+
+impl Monitor {
+    /// A monitor for `nodes` localities.
+    pub fn new(nodes: usize) -> Self {
+        Monitor {
+            per_locality: vec![LocalityStats::default(); nodes],
+            ..Default::default()
+        }
+    }
+
+    /// Total process-variant executions.
+    pub fn total_tasks(&self) -> u64 {
+        self.per_locality.iter().map(|l| l.tasks_executed).sum()
+    }
+
+    /// Total messages sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_locality.iter().map(|l| l.msgs_sent).sum()
+    }
+
+    /// Total bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_locality.iter().map(|l| l.bytes_sent).sum()
+    }
+
+    /// Coefficient of variation of per-locality busy time — the load
+    /// imbalance metric used by the load-balancing example.
+    pub fn busy_imbalance(&self) -> f64 {
+        let n = self.per_locality.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean =
+            self.per_locality.iter().map(|l| l.busy_ns as f64).sum::<f64>() / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .per_locality
+            .iter()
+            .map(|l| (l.busy_ns as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Summary of one runtime run, produced by `Runtime::run`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time at which the last task completed.
+    pub finish_time: SimTime,
+    /// Number of application phases executed.
+    pub phases: usize,
+    /// The monitor with all counters.
+    pub monitor: Monitor,
+    /// Remote message count on the network.
+    pub remote_msgs: u64,
+    /// Remote bytes moved on the network.
+    pub remote_bytes: u64,
+    /// Simulation events executed (diagnostics).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Wall-clock-equivalent seconds of the simulated execution.
+    pub fn seconds(&self) -> f64 {
+        self.finish_time.as_secs_f64()
+    }
+
+    /// Render a human-readable multi-line summary (examples, debugging).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "virtual time {:.3} ms | {} phases | {} tasks ({} splits) | {} remote msgs, {} bytes | {} events",
+            self.finish_time.as_secs_f64() * 1e3,
+            self.phases,
+            self.monitor.total_tasks(),
+            self.monitor
+                .per_locality
+                .iter()
+                .map(|l| l.tasks_split)
+                .sum::<u64>(),
+            self.remote_msgs,
+            self.remote_bytes,
+            self.events,
+        );
+        let _ = writeln!(
+            out,
+            "index: {} lookups ({} hops), {} update hops | busy imbalance {:.2}",
+            self.monitor.index_lookups,
+            self.monitor.index_lookup_hops,
+            self.monitor.index_update_hops,
+            self.monitor.busy_imbalance(),
+        );
+        for (i, l) in self.monitor.per_locality.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  loc {i:3}: {:6} tasks, {:10} busy ns, {:5} replicas in, {:4} migrations in, {:4} first-touch, {:4} conflicts",
+                l.tasks_executed,
+                l.busy_ns,
+                l.replicas_in,
+                l.migrations_in,
+                l.first_touch,
+                l.lock_conflicts,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_uniform_load_is_zero() {
+        let mut m = Monitor::new(4);
+        for l in &mut m.per_locality {
+            l.busy_ns = 1000;
+        }
+        assert!(m.busy_imbalance() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let mut m = Monitor::new(2);
+        m.per_locality[0].busy_ns = 1000;
+        m.per_locality[1].busy_ns = 3000;
+        assert!(m.busy_imbalance() > 0.4);
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let mut m = Monitor::new(3);
+        for (i, l) in m.per_locality.iter_mut().enumerate() {
+            l.tasks_executed = i as u64;
+            l.msgs_sent = 10;
+            l.bytes_sent = 100;
+        }
+        assert_eq!(m.total_tasks(), 3);
+        assert_eq!(m.total_msgs(), 30);
+        assert_eq!(m.total_bytes(), 300);
+    }
+}

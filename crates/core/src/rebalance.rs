@@ -1,0 +1,262 @@
+//! Automatic inter-node load balancing by data migration.
+//!
+//! The paper's scheduler achieves load balance indirectly: "by monitoring
+//! the workload distribution among various processes, the scheduling
+//! policy may decide to migrate data between nodes, which will implicitly
+//! lead to the redirection of future tasks to the newly designated
+//! localities" (Section 3.2). This module implements that decision for
+//! grid items distributed in axis-0 bands: given observed per-locality
+//! busy times and current ownership, it computes a migration plan that
+//! equalizes *time* (not cells) — a slow node keeps proportionally fewer
+//! cells.
+//!
+//! Apply a plan between phases with [`crate::RtCtx::migrate_region`]; see
+//! `examples/loadbalance.rs`.
+
+use allscale_region::{BoxRegion, GridBox, Region};
+
+/// One suggested ownership migration.
+#[derive(Debug, Clone)]
+pub struct MoveSuggestion<const D: usize> {
+    /// Donating locality.
+    pub from: usize,
+    /// Receiving locality.
+    pub to: usize,
+    /// The region to migrate.
+    pub region: BoxRegion<D>,
+}
+
+/// Split approximately `want` cells off `region`, slicing along axis 0.
+/// Returns `(taken, rest)`; `taken` may be smaller than `want` when the
+/// region is too small, and the split granularity is whole axis-0 rows.
+pub fn split_off_cells<const D: usize>(
+    region: &BoxRegion<D>,
+    want: u64,
+) -> (BoxRegion<D>, BoxRegion<D>) {
+    let mut taken = BoxRegion::empty();
+    let mut rest = BoxRegion::empty();
+    let mut remaining = want;
+    for &bx in region.boxes() {
+        if remaining == 0 {
+            rest = rest.union(&BoxRegion::from_box(bx));
+            continue;
+        }
+        let cells = bx.cardinality();
+        if cells <= remaining {
+            taken = taken.union(&BoxRegion::from_box(bx));
+            remaining -= cells;
+            continue;
+        }
+        // Partial: slice along axis 0 at a whole-row boundary.
+        let rows = (bx.hi()[0] - bx.lo()[0]) as u64;
+        let row_cells = cells / rows;
+        let take_rows = (remaining / row_cells.max(1)).min(rows);
+        if take_rows > 0 {
+            let mut hi = bx.hi();
+            hi[0] = bx.lo()[0] + take_rows as i64;
+            let cut = GridBox::new(bx.lo(), hi).expect("non-empty slice");
+            taken = taken.union(&BoxRegion::from_box(cut));
+            let mut lo = bx.lo();
+            lo[0] += take_rows as i64;
+            if let Some(keep) = GridBox::new(lo, bx.hi()) {
+                rest = rest.union(&BoxRegion::from_box(keep));
+            }
+            remaining = remaining.saturating_sub(take_rows * row_cells);
+        } else {
+            rest = rest.union(&BoxRegion::from_box(bx));
+        }
+    }
+    (taken, rest)
+}
+
+/// Compute a migration plan for one grid item.
+///
+/// - `busy_ns[i]`: observed busy time of locality `i` over the last
+///   window;
+/// - `owned[i]`: the region locality `i` currently owns;
+/// - `trigger`: only rebalance when `max(busy) / mean(busy) > trigger`
+///   (e.g. 1.25).
+///
+/// The plan equalizes predicted time: each locality's per-cell cost is
+/// estimated as `busy / cells`, and cells are redistributed in proportion
+/// to speed. Returns an empty plan when balanced or when observations are
+/// insufficient.
+pub fn plan_rebalance<const D: usize>(
+    busy_ns: &[u64],
+    owned: &[BoxRegion<D>],
+    trigger: f64,
+) -> Vec<MoveSuggestion<D>> {
+    let n = busy_ns.len();
+    assert_eq!(n, owned.len());
+    if n < 2 {
+        return Vec::new();
+    }
+    let cells: Vec<u64> = owned.iter().map(|r| r.cardinality()).collect();
+    let total_cells: u64 = cells.iter().sum();
+    if total_cells == 0 || busy_ns.contains(&0) {
+        return Vec::new();
+    }
+    let mean = busy_ns.iter().sum::<u64>() as f64 / n as f64;
+    let max = *busy_ns.iter().max().unwrap() as f64;
+    if max / mean <= trigger {
+        return Vec::new();
+    }
+
+    // Speed of locality i ∝ cells_i / busy_i; desired share ∝ speed.
+    let speeds: Vec<f64> = (0..n)
+        .map(|i| {
+            if cells[i] == 0 {
+                // No data yet: assume nominal speed (mean cells per mean
+                // busy) so empty nodes can receive work.
+                1.0
+            } else {
+                cells[i] as f64 / busy_ns[i] as f64
+            }
+        })
+        .collect();
+    let speed_sum: f64 = speeds.iter().sum();
+    let desired: Vec<u64> = speeds
+        .iter()
+        .map(|s| ((s / speed_sum) * total_cells as f64).round() as u64)
+        .collect();
+
+    // Greedy donor→receiver matching.
+    let mut surplus: Vec<(usize, u64)> = (0..n)
+        .filter(|&i| cells[i] > desired[i])
+        .map(|i| (i, cells[i] - desired[i]))
+        .collect();
+    let mut deficit: Vec<(usize, u64)> = (0..n)
+        .filter(|&i| desired[i] > cells[i])
+        .map(|i| (i, desired[i] - cells[i]))
+        .collect();
+    // Largest first for fewer, bigger transfers.
+    surplus.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    deficit.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+
+    let mut remaining_region: Vec<BoxRegion<D>> = owned.to_vec();
+    let mut plan = Vec::new();
+    let mut di = 0;
+    for (donor, mut s) in surplus {
+        while s > 0 && di < deficit.len() {
+            let (receiver, d) = deficit[di];
+            let amount = s.min(d);
+            // Skip negligible slivers (< 2% of the total): migration has
+            // fixed costs.
+            if amount * 50 >= total_cells {
+                let (taken, rest) = split_off_cells(&remaining_region[donor], amount);
+                if !taken.is_empty() {
+                    remaining_region[donor] = rest;
+                    plan.push(MoveSuggestion {
+                        from: donor,
+                        to: receiver,
+                        region: taken,
+                    });
+                }
+            }
+            s -= amount;
+            if amount == d {
+                di += 1;
+            } else {
+                deficit[di].1 = d - amount;
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn band(lo: i64, hi: i64) -> BoxRegion<1> {
+        BoxRegion::cuboid([lo], [hi])
+    }
+
+    #[test]
+    fn balanced_load_produces_no_plan() {
+        let busy = [100, 100, 100, 100];
+        let owned = [band(0, 25), band(25, 50), band(50, 75), band(75, 100)];
+        assert!(plan_rebalance(&busy, &owned, 1.25).is_empty());
+    }
+
+    #[test]
+    fn slow_node_donates_cells() {
+        // Locality 1 took 4x the time for the same cells: quarter speed.
+        let busy = [100, 400, 100, 100];
+        let owned = [band(0, 25), band(25, 50), band(50, 75), band(75, 100)];
+        let plan = plan_rebalance(&busy, &owned, 1.25);
+        assert!(!plan.is_empty());
+        let donated: u64 = plan
+            .iter()
+            .filter(|m| m.from == 1)
+            .map(|m| m.region.cardinality())
+            .sum();
+        // Quarter speed → should keep roughly 100/(4/1 + 3) ≈ 7-8 cells of
+        // its 25, donating ~17.
+        assert!(
+            (12..=20).contains(&donated),
+            "donated {donated} cells: {plan:?}"
+        );
+        // Nothing moves TO the slow node.
+        assert!(plan.iter().all(|m| m.to != 1));
+        // Donated regions come out of the donor's ownership.
+        for m in &plan {
+            assert!(m.region.is_subset_of(&owned[m.from]));
+        }
+    }
+
+    #[test]
+    fn fast_node_receives() {
+        // Locality 3 is twice as fast.
+        let busy = [200, 200, 200, 100];
+        let owned = [band(0, 25), band(25, 50), band(50, 75), band(75, 100)];
+        let plan = plan_rebalance(&busy, &owned, 1.1);
+        let received: u64 = plan
+            .iter()
+            .filter(|m| m.to == 3)
+            .map(|m| m.region.cardinality())
+            .sum();
+        assert!(received > 0, "{plan:?}");
+    }
+
+    #[test]
+    fn moves_are_pairwise_disjoint() {
+        let busy = [100, 900, 100, 100];
+        let owned = [band(0, 25), band(25, 50), band(50, 75), band(75, 100)];
+        let plan = plan_rebalance(&busy, &owned, 1.25);
+        for (i, a) in plan.iter().enumerate() {
+            for b in plan.iter().skip(i + 1) {
+                assert!(a.region.is_disjoint(&b.region), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_off_takes_whole_rows() {
+        let r = BoxRegion::<2>::cuboid([0, 0], [10, 8]); // 10 rows × 8 cols
+        let (taken, rest) = split_off_cells(&r, 20);
+        assert_eq!(taken.cardinality(), 16, "2 whole rows of 8");
+        assert_eq!(rest.cardinality(), 64);
+        assert!(taken.is_disjoint(&rest));
+        assert_eq!(taken.union(&rest), r);
+    }
+
+    #[test]
+    fn split_off_more_than_available_takes_everything() {
+        let r = band(0, 10);
+        let (taken, rest) = split_off_cells(&r, 100);
+        assert_eq!(taken, r);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn empty_observations_are_safe() {
+        let plan = plan_rebalance::<1>(&[], &[], 1.25);
+        assert!(plan.is_empty());
+        let plan = plan_rebalance(&[5], &[band(0, 10)], 1.25);
+        assert!(plan.is_empty());
+        // Zero busy times: no information, no plan.
+        let plan = plan_rebalance(&[0, 10], &[band(0, 5), band(5, 10)], 1.25);
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,1189 @@
+//! The AllScale runtime: localities, the scheduler (paper Algorithm 2),
+//! and the full task/data lifecycle over the simulated cluster.
+//!
+//! Execution is event-driven on [`allscale_des::Sim`]. The world holds one
+//! [`Locality`] per simulated cluster node (core pool + data item manager)
+//! plus the distributed index and the global task tables. The life of a
+//! task:
+//!
+//! 1. **assign** (Algorithm 2): the policy picks the variant; split tasks
+//!    are forwarded to their placement-hint locality and decomposed there,
+//!    process tasks are forwarded to a locality covering their data
+//!    requirements — all requirements if possible, else all write
+//!    requirements, else wherever the policy says. Index lookups
+//!    (Algorithm 1) and task forwards are billed on the network.
+//! 2. **prepare**: locks are acquired in the local data item manager
+//!    (parking the task on conflict); missing write regions are migrated
+//!    in (or first-touch allocated), missing read regions are replicated
+//!    in; each transfer is billed at real serialized size.
+//! 3. **execute**: the process body runs as real Rust code against the
+//!    local fragments; its virtual duration occupies a core.
+//! 4. **complete**: locks release, replicas drop (with release messages to
+//!    their owners), the result travels to the parent, and combiners fire
+//!    when all children are done.
+//!
+//! Applications are sequences of *phases* (an [`AppDriver`]): the root
+//! work item of phase *k+1* is requested once phase *k*'s task tree has
+//! fully completed — the `sync` points of the application's main function.
+
+use std::collections::BTreeMap;
+
+use allscale_des::{CorePool, Sim, SimDuration, SimTime};
+use allscale_net::{AnyTopology, ClusterSpec, Network};
+use allscale_region::ItemType;
+
+use crate::cost::CostModel;
+use crate::dim::DataItemManager;
+use crate::dynamic::{DynRegion, ItemDescriptor};
+use crate::index::{CentralIndex, DistIndex, Hop};
+use crate::monitor::{Monitor, RunReport};
+use crate::policy::{DataAwarePolicy, PolicyEnv, SchedulingPolicy, Variant};
+use crate::task::{
+    AccessMode, Done, ItemId, Requirement, SplitOutcome, TaskCtx, TaskId, TaskValue, WorkItem,
+};
+
+/// A simulated cluster node: cores plus its data item manager.
+pub struct Locality {
+    /// The node's core pool.
+    pub cores: CorePool,
+    /// The node's data item manager.
+    pub dim: DataItemManager,
+    /// Tasks currently assigned here (queued, preparing, or running).
+    pub load: usize,
+    /// Busy-until time of the node's communication thread (HPX dedicates
+    /// a network thread; control messages are handled there rather than
+    /// queueing behind long compute tasks on the core pool).
+    pub comm_busy: SimTime,
+}
+
+/// Either index implementation (experiment A1 toggles them).
+enum IndexImpl {
+    Dist(DistIndex),
+    Central(CentralIndex),
+}
+
+impl IndexImpl {
+    fn register_item(&mut self, item: ItemId, empty: &dyn DynRegion) {
+        match self {
+            IndexImpl::Dist(i) => i.register_item(item, empty),
+            IndexImpl::Central(i) => i.register_item(item, empty),
+        }
+    }
+    fn remove_item(&mut self, item: ItemId) {
+        if let IndexImpl::Dist(i) = self {
+            i.remove_item(item)
+        }
+    }
+    fn update_leaf(&mut self, item: ItemId, p: usize, region: Box<dyn DynRegion>) -> Vec<Hop> {
+        match self {
+            IndexImpl::Dist(i) => i.update_leaf(item, p, region),
+            IndexImpl::Central(i) => i.update_leaf(item, p, region),
+        }
+    }
+    fn resolve(
+        &self,
+        item: ItemId,
+        start: usize,
+        region: &dyn DynRegion,
+    ) -> (crate::index::Resolution, Vec<Hop>) {
+        match self {
+            IndexImpl::Dist(i) => i.resolve(item, start, region),
+            IndexImpl::Central(i) => i.resolve(item, start, region),
+        }
+    }
+}
+
+struct Inflight {
+    loc: usize,
+    wi: Option<Box<dyn WorkItem>>,
+    parent: Option<(TaskId, usize)>,
+    reqs: Vec<Requirement>,
+    /// Read replicas imported for this task: (item, owner, region).
+    replicas: Vec<(ItemId, usize, Box<dyn DynRegion>)>,
+    pending_transfers: usize,
+    pending_done: Option<(Done, usize)>,
+}
+
+struct ParentRecord {
+    loc: usize,
+    pending: usize,
+    results: Vec<Option<TaskValue>>,
+    combine: Option<Box<dyn FnOnce(Vec<TaskValue>) -> TaskValue>>,
+    parent: Option<(TaskId, usize)>,
+    result_bytes: usize,
+}
+
+/// Runtime configuration.
+pub struct RtConfig {
+    /// The simulated machine.
+    pub spec: ClusterSpec,
+    /// Virtual-time cost constants.
+    pub cost: CostModel,
+    /// Scheduling policy (Algorithm 2's pluggable part).
+    pub policy: Box<dyn SchedulingPolicy>,
+    /// Use the central-directory index instead of the hierarchical one
+    /// (ablation A1).
+    pub central_index: bool,
+}
+
+impl RtConfig {
+    /// Default configuration on a Meggie-like cluster of `nodes` nodes.
+    pub fn meggie(nodes: usize) -> Self {
+        RtConfig {
+            spec: ClusterSpec::meggie(nodes),
+            cost: CostModel::default(),
+            policy: Box::new(DataAwarePolicy::default()),
+            central_index: false,
+        }
+    }
+
+    /// Small test configuration.
+    pub fn test(nodes: usize, cores: usize) -> Self {
+        RtConfig {
+            spec: ClusterSpec::test(nodes, cores),
+            cost: CostModel::default(),
+            policy: Box::new(DataAwarePolicy::default()),
+            central_index: false,
+        }
+    }
+}
+
+/// The simulated world of a runtime execution.
+pub struct RtWorld {
+    /// Machine description.
+    pub spec: ClusterSpec,
+    /// The interconnect cost engine.
+    pub net: Network<AnyTopology>,
+    /// Cost constants.
+    pub cost: CostModel,
+    /// One entry per cluster node.
+    pub localities: Vec<Locality>,
+    /// Monitoring counters.
+    pub monitor: Monitor,
+    index: IndexImpl,
+    item_descs: BTreeMap<ItemId, ItemDescriptor>,
+    inflight: BTreeMap<TaskId, Inflight>,
+    parents: BTreeMap<TaskId, ParentRecord>,
+    parked: Vec<TaskId>,
+    retry_scheduled: bool,
+    next_task: u64,
+    next_item: u32,
+    policy: Box<dyn SchedulingPolicy>,
+    driver: Option<Box<dyn AppDriver>>,
+    phase: usize,
+    finish_time: SimTime,
+    done: bool,
+}
+
+type RtSim = Sim<RtWorld>;
+
+/// An application as a sequence of phases. Phase *k+1* begins only after
+/// phase *k*'s entire task tree has completed (the application's `sync`).
+pub trait AppDriver: 'static {
+    /// Produce the root work item of `phase` (0-based), or `None` when the
+    /// application is finished. `prev` is the value of the previous
+    /// phase's root task (`None` for phase 0).
+    fn next_phase(
+        &mut self,
+        phase: usize,
+        ctx: &mut RtCtx<'_>,
+        prev: TaskValue,
+    ) -> Option<Box<dyn WorkItem>>;
+}
+
+impl<F> AppDriver for F
+where
+    F: FnMut(usize, &mut RtCtx<'_>, TaskValue) -> Option<Box<dyn WorkItem>> + 'static,
+{
+    fn next_phase(
+        &mut self,
+        phase: usize,
+        ctx: &mut RtCtx<'_>,
+        prev: TaskValue,
+    ) -> Option<Box<dyn WorkItem>> {
+        self(phase, ctx, prev)
+    }
+}
+
+/// Driver-facing handle on the runtime between phases.
+pub struct RtCtx<'a> {
+    world: &'a mut RtWorld,
+    now: SimTime,
+}
+
+impl RtCtx<'_> {
+    /// Number of localities.
+    pub fn nodes(&self) -> usize {
+        self.world.localities.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Create a data item of type `I` (paper action `create`): registers
+    /// the descriptor on every locality and in the index. No data is
+    /// allocated — allocation happens on first touch.
+    pub fn create_item<I: ItemType>(&mut self, name: &'static str) -> ItemId {
+        let id = ItemId(self.world.next_item);
+        self.world.next_item += 1;
+        let desc = ItemDescriptor::of::<I>(name);
+        for loc in &mut self.world.localities {
+            loc.dim.register(id, desc.clone());
+        }
+        self.world
+            .index
+            .register_item(id, (desc.empty_region)().as_ref());
+        self.world.item_descs.insert(id, desc);
+        id
+    }
+
+    /// Destroy a data item everywhere (paper action `destroy`).
+    pub fn destroy_item(&mut self, item: ItemId) {
+        for loc in &mut self.world.localities {
+            loc.dim.destroy(item);
+        }
+        self.world.index.remove_item(item);
+        self.world.item_descs.remove(&item);
+    }
+
+    /// Read access to the fragment of `item` at `loc` — out-of-band
+    /// access for result verification and oracles (not billed).
+    pub fn fragment_at<F: 'static>(&self, loc: usize, item: ItemId) -> &F {
+        self.world.localities[loc]
+            .dim
+            .fragment_any(item)
+            .downcast_ref::<F>()
+            .expect("wrong fragment type")
+    }
+
+    /// The region `loc` currently owns of `item`.
+    pub fn owned_region_at(&self, loc: usize, item: ItemId) -> Box<dyn DynRegion> {
+        self.world.localities[loc].dim.owned_region(item)
+    }
+
+    /// Replicate `region` of `item` (owned by `owner`) to every other
+    /// locality as a *persistent* replica — the runtime-initiated
+    /// (replicate) rule, used for read-mostly data such as the top of the
+    /// TPC kd-tree. Writers to the region will be fenced permanently, so
+    /// only use this for data that is read-only from here on.
+    ///
+    /// Billed as a binomial broadcast on the simulated network.
+    pub fn broadcast_replicate(&mut self, item: ItemId, owner: usize, region: &dyn DynRegion) {
+        let nodes = self.world.localities.len();
+        let bytes = {
+            let dim = &mut self.world.localities[owner].dim;
+            // Sentinel task id marks the export as persistent.
+            dim.export_replica(item, region, usize::MAX, TaskId(u64::MAX))
+        };
+        let mut t = self.now;
+        for dst in 0..nodes {
+            if dst == owner {
+                continue;
+            }
+            t = send(self.world, t, owner, dst, bytes.len());
+            self.world.localities[dst].dim.import_persistent(item, &bytes);
+            self.world.monitor.per_locality[dst].replicas_in += 1;
+        }
+    }
+
+    /// Migrate ownership of `region` of `item` from `from` to `to`
+    /// (runtime-initiated (migrate) rule) — the load-balancing primitive:
+    /// "the scheduling policy may decide to migrate data between nodes,
+    /// which will implicitly lead to the redirection of future tasks to
+    /// the newly designated localities".
+    pub fn migrate_region(&mut self, item: ItemId, region: &dyn DynRegion, from: usize, to: usize) {
+        let w = &mut self.world;
+        let bytes = w.localities[from].dim.export_migration(item, region);
+        let new_src_owned = w.localities[from].dim.owned_region(item);
+        let hops1 = w.index.update_leaf(item, from, new_src_owned);
+        w.localities[to].dim.import_owned(item, &bytes);
+        let new_dst_owned = w.localities[to].dim.owned_region(item);
+        let hops2 = w.index.update_leaf(item, to, new_dst_owned);
+        let t = send(w, self.now, from, to, bytes.len());
+        bill_hops(w, t, &hops1);
+        bill_hops(w, t, &hops2);
+        w.monitor.per_locality[to].migrations_in += 1;
+        w.monitor.index_update_hops += (hops1.len() + hops2.len()) as u64;
+    }
+
+    /// Snapshot the owned data of every item on every locality — the
+    /// resilience manager's checkpoint.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            per_locality: self
+                .world
+                .localities
+                .iter()
+                .map(|l| l.dim.checkpoint())
+                .collect(),
+        }
+    }
+
+    /// Restore a checkpoint taken earlier in this run.
+    pub fn restore(&mut self, snap: &Checkpoint) {
+        for (loc, data) in self.world.localities.iter_mut().zip(&snap.per_locality) {
+            loc.dim.restore(data);
+        }
+        // Re-advertise ownership in the index.
+        let items: Vec<ItemId> = self.world.item_descs.keys().copied().collect();
+        for item in items {
+            for p in 0..self.world.localities.len() {
+                let owned = self.world.localities[p].dim.owned_region(item);
+                self.world.index.update_leaf(item, p, owned);
+            }
+        }
+    }
+
+    /// Verify the runtime's distributed state against the formal model's
+    /// invariants (paper Section 2.5) at a phase boundary:
+    ///
+    /// 1. **exclusive ownership** — the owned (primary) regions of every
+    ///    item are pairwise disjoint across localities (the distributed
+    ///    counterpart of *exclusive writes*: a writable copy exists in at
+    ///    most one address space);
+    /// 2. **index consistency** — each locality's advertised index leaf
+    ///    region equals its data item manager's owned region;
+    /// 3. **quiescent locks** — no `Lr`/`Lw` entries survive a phase
+    ///    boundary (every (start) was matched by an (end)).
+    ///
+    /// Returns a list of violations (empty = consistent). Used by the
+    /// cross-crate model-conformance tests.
+    pub fn verify_consistency(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let items: Vec<ItemId> = self.world.item_descs.keys().copied().collect();
+        let nodes = self.world.localities.len();
+        for item in items {
+            // 1. Pairwise disjoint ownership.
+            for a in 0..nodes {
+                let ra = self.world.localities[a].dim.owned_region(item);
+                for b in a + 1..nodes {
+                    let rb = self.world.localities[b].dim.owned_region(item);
+                    let overlap = ra.intersect_dyn(rb.as_ref());
+                    if !overlap.is_empty_dyn() {
+                        violations.push(format!(
+                            "item {item:?}: localities {a} and {b} both own {overlap:?}"
+                        ));
+                    }
+                }
+            }
+            // 2. Index leaves match DIM ownership.
+            if let IndexImpl::Dist(idx) = &self.world.index {
+                for p in 0..nodes {
+                    let advertised = idx.leaf_region(item, p);
+                    let owned = self.world.localities[p].dim.owned_region(item);
+                    if !advertised.eq_dyn(owned.as_ref()) {
+                        violations.push(format!(
+                            "item {item:?}: index leaf of locality {p} disagrees with DIM                              (index {advertised:?} vs owned {owned:?})"
+                        ));
+                    }
+                }
+            }
+            // 3. No locks held between phases.
+            for (p, loc) in self.world.localities.iter().enumerate() {
+                if loc.dim.has_locks(item) {
+                    violations.push(format!(
+                        "item {item:?}: locality {p} still holds locks at a phase boundary"
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Plan and apply an automatic rebalancing of a grid item distributed
+    /// in axis-0 bands (see [`crate::rebalance`]): observed busy times
+    /// since the start of the run drive a migration plan equalizing
+    /// predicted time. Returns the number of migrations performed.
+    pub fn auto_rebalance<const D: usize>(&mut self, item: ItemId, trigger: f64) -> usize {
+        let busy = self.busy_ns();
+        let owned: Vec<allscale_region::BoxRegion<D>> = (0..self.world.localities.len())
+            .map(|l| {
+                self.world.localities[l]
+                    .dim
+                    .owned_region(item)
+                    .as_any()
+                    .downcast_ref::<allscale_region::BoxRegion<D>>()
+                    .expect("auto_rebalance requires a grid item")
+                    .clone()
+            })
+            .collect();
+        let plan = crate::rebalance::plan_rebalance(&busy, &owned, trigger);
+        let n = plan.len();
+        for m in plan {
+            self.migrate_region(item, &m.region, m.from, m.to);
+        }
+        n
+    }
+
+    /// Per-locality busy nanoseconds so far (load-balancing input).
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.world
+            .monitor
+            .per_locality
+            .iter()
+            .map(|l| l.busy_ns)
+            .collect()
+    }
+}
+
+/// A full-application data snapshot (resilience manager payload).
+#[derive(Clone)]
+pub struct Checkpoint {
+    per_locality: Vec<Vec<(ItemId, Vec<u8>)>>,
+}
+
+impl Checkpoint {
+    /// Total serialized size of the snapshot.
+    pub fn bytes(&self) -> usize {
+        self.per_locality
+            .iter()
+            .flat_map(|l| l.iter().map(|(_, b)| b.len()))
+            .sum()
+    }
+}
+
+/// The runtime entry point.
+pub struct Runtime {
+    sim: RtSim,
+}
+
+impl Runtime {
+    /// Build a runtime over the given configuration.
+    pub fn new(config: RtConfig) -> Self {
+        let nodes = config.spec.nodes;
+        let net = Network::new(config.spec.build_topology(), config.spec.net.clone());
+        let localities = (0..nodes)
+            .map(|i| Locality {
+                cores: CorePool::new(config.spec.cores_per_node),
+                dim: DataItemManager::new(i),
+                load: 0,
+                comm_busy: SimTime::ZERO,
+            })
+            .collect();
+        let index = if config.central_index {
+            IndexImpl::Central(CentralIndex::new(nodes))
+        } else {
+            IndexImpl::Dist(DistIndex::new(nodes))
+        };
+        let world = RtWorld {
+            spec: config.spec,
+            net,
+            cost: config.cost,
+            localities,
+            monitor: Monitor::new(nodes),
+            index,
+            item_descs: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            parents: BTreeMap::new(),
+            parked: Vec::new(),
+            retry_scheduled: false,
+            next_task: 0,
+            next_item: 0,
+            policy: Box::new(DataAwarePolicy::default()),
+            driver: None,
+            phase: 0,
+            finish_time: SimTime::ZERO,
+            done: false,
+        };
+        let mut sim = Sim::new(world);
+        sim.world.policy = config.policy;
+        Runtime { sim }
+    }
+
+    /// Run an application to completion; returns the run report.
+    ///
+    /// # Panics
+    /// Panics if the application deadlocks (tasks parked forever).
+    pub fn run(mut self, driver: impl AppDriver) -> RunReport {
+        self.sim.world.driver = Some(Box::new(driver));
+        self.sim.schedule(SimDuration::ZERO, |sim| {
+            advance_phase(sim, None);
+        });
+        self.sim.run();
+        let w = &self.sim.world;
+        assert!(
+            w.inflight.is_empty() && w.parents.is_empty(),
+            "runtime deadlock: {} tasks in flight, {} parents pending, {} parked",
+            w.inflight.len(),
+            w.parents.len(),
+            w.parked.len()
+        );
+        RunReport {
+            finish_time: w.finish_time,
+            phases: w.phase,
+            monitor: w.monitor.clone(),
+            remote_msgs: w.net.stats().remote_msgs(),
+            remote_bytes: w.net.stats().remote_bytes(),
+            events: self.sim.events_run(),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ billing
+
+/// Bill a message on the network and in the monitor; returns arrival time.
+fn send(w: &mut RtWorld, now: SimTime, from: usize, to: usize, bytes: usize) -> SimTime {
+    w.monitor.per_locality[from].msgs_sent += 1;
+    w.monitor.per_locality[from].bytes_sent += bytes as u64;
+    w.net.transfer(now, from, to, bytes)
+}
+
+/// Bill a chain of control-message hops; returns completion time.
+///
+/// Besides wire time, each hop occupies a core at the *receiving* process
+/// for the per-message CPU overhead (the LogP `o` term): this is what
+/// makes a centralized directory congest under load while the
+/// hierarchical index spreads handling over the tree.
+fn bill_hops(w: &mut RtWorld, mut now: SimTime, hops: &[Hop]) -> SimTime {
+    let bytes = w.cost.control_msg_bytes;
+    let cpu = w.cost.msg_cpu();
+    for &(a, b) in hops {
+        now = send(w, now, a, b, bytes);
+        let start = w.localities[b].comm_busy.max(now);
+        let end = start + cpu;
+        w.localities[b].comm_busy = end;
+        now = end;
+    }
+    now
+}
+
+fn policy_env(w: &RtWorld) -> (usize, usize, Vec<usize>) {
+    (
+        w.localities.len(),
+        w.spec.cores_per_node,
+        w.localities.iter().map(|l| l.load).collect(),
+    )
+}
+
+// ------------------------------------------------------------- phase driver
+
+fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
+    let phase = sim.world.phase;
+    let mut driver = sim.world.driver.take().expect("driver present");
+    let now = sim.now();
+    let next = {
+        let mut ctx = RtCtx {
+            world: &mut sim.world,
+            now,
+        };
+        driver.next_phase(phase, &mut ctx, prev)
+    };
+    sim.world.driver = Some(driver);
+    match next {
+        Some(root) => {
+            sim.world.phase += 1;
+            assign_task(sim, 0, root, None);
+        }
+        None => {
+            sim.world.done = true;
+            sim.world.finish_time = sim.now();
+        }
+    }
+}
+
+// -------------------------------------------------------------- Algorithm 2
+
+/// Assign a task to a node (paper Algorithm 2).
+fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option<(TaskId, usize)>) {
+    let tid = TaskId(sim.world.next_task);
+    sim.world.next_task += 1;
+
+    // Line 3: pick the variant.
+    let (nodes, cores, load) = policy_env(&sim.world);
+    let env = PolicyEnv {
+        nodes,
+        cores_per_node: cores,
+        load: &load,
+    };
+    let variant =
+        sim.world
+            .policy
+            .pick_variant(wi.depth(), wi.can_split(), wi.placement_hint(), &env);
+
+    match variant {
+        Variant::Split => {
+            // Pure decomposition: the policy chooses where it runs.
+            let target = sim
+                .world
+                .policy
+                .pick_target(wi.placement_hint(), at, &env);
+            let now = sim.now();
+            let arrival = if target != at {
+                send(&mut sim.world, now, at, target, wi.descriptor_bytes())
+            } else {
+                now
+            };
+            sim.world.localities[target].load += 1;
+            sim.schedule_at(arrival, move |sim| do_split(sim, target, tid, wi, parent));
+        }
+        Variant::Process => {
+            let reqs = wi.requirements();
+            let target = pick_process_target(sim, at, wi.as_ref(), &reqs, &env);
+            let now = sim.now();
+            let arrival = if target != at {
+                send(&mut sim.world, now, at, target, wi.descriptor_bytes())
+            } else {
+                now
+            };
+            sim.world.localities[target].load += 1;
+            sim.world.inflight.insert(
+                tid,
+                Inflight {
+                    loc: target,
+                    wi: Some(wi),
+                    parent,
+                    reqs,
+                    replicas: Vec::new(),
+                    pending_transfers: 0,
+                    pending_done: None,
+                },
+            );
+            sim.schedule_at(arrival, move |sim| prepare_task(sim, tid));
+        }
+    }
+}
+
+/// Algorithm 2 lines 4-13: find the execution locality for a process task.
+fn pick_process_target(
+    sim: &mut RtSim,
+    at: usize,
+    wi: &dyn WorkItem,
+    reqs: &[Requirement],
+    env: &PolicyEnv<'_>,
+) -> usize {
+    if reqs.is_empty() {
+        return sim.world.policy.pick_target(wi.placement_hint(), at, env);
+    }
+    // Fast path: everything already available right here (covers
+    // persistent replicas, e.g. the broadcast tree top).
+    let local_ok = reqs.iter().all(|r| {
+        let dim = &sim.world.localities[at].dim;
+        match r.mode {
+            AccessMode::Read => dim.covers_stable(r.item, r.region.as_ref()),
+            AccessMode::Write => r
+                .region
+                .difference_dyn(dim.owned_region(r.item).as_ref())
+                .is_empty_dyn(),
+        }
+    });
+    if local_ok {
+        return at;
+    }
+    // Line 4: a process covering ALL requirements.
+    let all_owner = common_owner(sim, at, reqs.iter());
+    if let Some(p) = all_owner {
+        return p;
+    }
+    // Line 7: a process covering all WRITE requirements.
+    let w_owner = common_owner(
+        sim,
+        at,
+        reqs.iter().filter(|r| r.mode == AccessMode::Write),
+    );
+    if let Some(p) = w_owner {
+        return p;
+    }
+    // Line 12: the policy decides.
+    sim.world.policy.pick_target(wi.placement_hint(), at, env)
+}
+
+/// The single process owning every requirement in `iter`, if one exists.
+/// Bills the index lookups used to find out.
+fn common_owner<'r>(
+    sim: &mut RtSim,
+    at: usize,
+    iter: impl Iterator<Item = &'r Requirement>,
+) -> Option<usize> {
+    let mut owner: Option<usize> = None;
+    let mut any = false;
+    let now = sim.now();
+    for req in iter {
+        any = true;
+        let (pieces, hops) = sim.world.index.resolve(req.item, at, req.region.as_ref());
+        sim.world.monitor.index_lookups += 1;
+        sim.world.monitor.index_lookup_hops += hops.len() as u64;
+        bill_hops(&mut sim.world, now, &hops);
+        // Coverage check: pieces must tile the region with one owner.
+        let mut covered: Option<Box<dyn DynRegion>> = None;
+        for (piece, host) in &pieces {
+            match owner {
+                None => owner = Some(*host),
+                Some(o) if o != *host => return None,
+                _ => {}
+            }
+            covered = Some(match covered {
+                None => piece.clone_box(),
+                Some(c) => c.union_dyn(piece.as_ref()),
+            });
+        }
+        let fully = match covered {
+            None => false,
+            Some(c) => req.region.difference_dyn(c.as_ref()).is_empty_dyn(),
+        };
+        if !fully {
+            return None;
+        }
+    }
+    if any {
+        owner
+    } else {
+        None
+    }
+}
+
+// -------------------------------------------------------------------- split
+
+fn do_split(
+    sim: &mut RtSim,
+    loc: usize,
+    tid: TaskId,
+    wi: Box<dyn WorkItem>,
+    parent: Option<(TaskId, usize)>,
+) {
+    let overhead = sim.world.cost.task_overhead(loc);
+    let now = sim.now();
+    let (_, end) = sim.world.localities[loc].cores.acquire(now, overhead);
+    sim.world.monitor.per_locality[loc].busy_ns += overhead.as_nanos();
+    sim.world.monitor.per_locality[loc].tasks_split += 1;
+    sim.schedule_at(end, move |sim| {
+        let result_bytes = wi.result_bytes();
+        let SplitOutcome { children, combine } = wi.split();
+        sim.world.localities[loc].load -= 1;
+        if children.is_empty() {
+            let value = combine(Vec::new());
+            finish_task(sim, loc, parent, value);
+            return;
+        }
+        sim.world.parents.insert(
+            tid,
+            ParentRecord {
+                loc,
+                pending: children.len(),
+                results: children.iter().map(|_| None).collect(),
+                combine: Some(combine),
+                parent,
+                result_bytes,
+            },
+        );
+        for (i, child) in children.into_iter().enumerate() {
+            assign_task(sim, loc, child, Some((tid, i)));
+        }
+    });
+}
+
+// ------------------------------------------------------------- preparation
+
+/// Acquire locks and stage data for a process task; parks on conflict.
+fn prepare_task(sim: &mut RtSim, tid: TaskId) {
+    let loc = sim.world.inflight[&tid].loc;
+
+    // 1. Locks (atomic). On conflict, park and retry after completions.
+    {
+        let inf = sim.world.inflight.get_mut(&tid).unwrap();
+        let dim = &mut sim.world.localities[loc].dim;
+        if dim.try_lock(tid, &inf.reqs).is_err() {
+            sim.world.monitor.per_locality[loc].lock_conflicts += 1;
+            sim.world.parked.push(tid);
+            return;
+        }
+    }
+
+    // 2. Plan transfers: check feasibility first (sources unlocked),
+    //    releasing our locks and parking if anything is fenced.
+    let plan = match plan_transfers(&mut sim.world, tid, loc) {
+        Ok(plan) => plan,
+        Err(()) => {
+            sim.world.localities[loc].dim.unlock_all(tid);
+            sim.world.monitor.per_locality[loc].lock_conflicts += 1;
+            sim.world.parked.push(tid);
+            return;
+        }
+    };
+
+    // 3. Apply the plan.
+    let now = sim.now();
+    let mut pending = 0usize;
+    for mv in plan {
+        match mv {
+            Move::FirstTouch { item, region } => {
+                sim.world.localities[loc].dim.init_owned(item, region.as_ref());
+                let owned = sim.world.localities[loc].dim.owned_region(item);
+                let hops = sim.world.index.update_leaf(item, loc, owned);
+                sim.world.monitor.index_update_hops += hops.len() as u64;
+                bill_hops(&mut sim.world, now, &hops);
+                sim.world.monitor.per_locality[loc].first_touch += 1;
+            }
+            Move::Migrate { item, region, src } => {
+                let bytes = sim.world.localities[src]
+                    .dim
+                    .export_migration(item, region.as_ref());
+                let src_owned = sim.world.localities[src].dim.owned_region(item);
+                let hops = sim.world.index.update_leaf(item, src, src_owned);
+                sim.world.monitor.index_update_hops += hops.len() as u64;
+                bill_hops(&mut sim.world, now, &hops);
+                // Request hop, then the data transfer.
+                let ctrl = sim.world.cost.control_msg_bytes;
+                let req_arr = send(&mut sim.world, now, loc, src, ctrl);
+                let arr = send(&mut sim.world, req_arr, src, loc, bytes.len());
+                pending += 1;
+                sim.schedule_at(arr, move |sim| {
+                    let loc2 = sim.world.inflight[&tid].loc;
+                    sim.world.localities[loc2].dim.import_owned(item, &bytes);
+                    let owned = sim.world.localities[loc2].dim.owned_region(item);
+                    let hops = sim.world.index.update_leaf(item, loc2, owned);
+                    sim.world.monitor.index_update_hops += hops.len() as u64;
+                    let t = sim.now();
+                    bill_hops(&mut sim.world, t, &hops);
+                    sim.world.monitor.per_locality[loc2].migrations_in += 1;
+                    transfer_done(sim, tid);
+                });
+            }
+            Move::Replicate { item, region, src } => {
+                let bytes = sim.world.localities[src].dim.export_replica(
+                    item,
+                    region.as_ref(),
+                    loc,
+                    tid,
+                );
+                let ctrl = sim.world.cost.control_msg_bytes;
+                let req_arr = send(&mut sim.world, now, loc, src, ctrl);
+                let arr = send(&mut sim.world, req_arr, src, loc, bytes.len());
+                pending += 1;
+                let region2 = region.clone_box();
+                sim.schedule_at(arr, move |sim| {
+                    let loc2 = sim.world.inflight[&tid].loc;
+                    sim.world.localities[loc2].dim.import_replica(item, &bytes, tid);
+                    sim.world.monitor.per_locality[loc2].replicas_in += 1;
+                    sim.world
+                        .inflight
+                        .get_mut(&tid)
+                        .unwrap()
+                        .replicas
+                        .push((item, src, region2));
+                    transfer_done(sim, tid);
+                });
+            }
+        }
+    }
+    sim.world.inflight.get_mut(&tid).unwrap().pending_transfers = pending;
+    if pending == 0 {
+        start_execution(sim, tid);
+    }
+}
+
+enum Move {
+    FirstTouch {
+        item: ItemId,
+        region: Box<dyn DynRegion>,
+    },
+    Migrate {
+        item: ItemId,
+        region: Box<dyn DynRegion>,
+        src: usize,
+    },
+    Replicate {
+        item: ItemId,
+        region: Box<dyn DynRegion>,
+        src: usize,
+    },
+}
+
+/// Compute the data movements needed to satisfy `tid`'s requirements at
+/// `loc`. Errors when a source is fenced by locks or exports.
+fn plan_transfers(w: &mut RtWorld, tid: TaskId, loc: usize) -> Result<Vec<Move>, ()> {
+    let mut plan = Vec::new();
+    // Collect requirement facts first to appease the borrow checker.
+    let reqs: Vec<(ItemId, Box<dyn DynRegion>, AccessMode)> = w.inflight[&tid]
+        .reqs
+        .iter()
+        .map(|r| (r.item, r.region.clone_box(), r.mode))
+        .collect();
+    for (item, region, mode) in reqs {
+        match mode {
+            AccessMode::Write => {
+                let owned = w.localities[loc].dim.owned_region(item);
+                let missing = region.difference_dyn(owned.as_ref());
+                if missing.is_empty_dyn() {
+                    continue;
+                }
+                let (pieces, hops) = w.index.resolve(item, loc, missing.as_ref());
+                w.monitor.index_lookups += 1;
+                w.monitor.index_lookup_hops += hops.len() as u64;
+                let mut found: Option<Box<dyn DynRegion>> = None;
+                for (piece, src) in pieces {
+                    if src == loc {
+                        // Index says we own it; treat as present.
+                        found = Some(match found {
+                            None => piece,
+                            Some(f) => f.union_dyn(piece.as_ref()),
+                        });
+                        continue;
+                    }
+                    // Migration requires an unfenced source.
+                    let sdim = &w.localities[src].dim;
+                    if sdim.locked_any(item, piece.as_ref())
+                        || sdim.exported(item, piece.as_ref())
+                    {
+                        return Err(());
+                    }
+                    found = Some(match found {
+                        None => piece.clone_box(),
+                        Some(f) => f.union_dyn(piece.as_ref()),
+                    });
+                    plan.push(Move::Migrate {
+                        item,
+                        region: piece,
+                        src,
+                    });
+                }
+                let nowhere = match found {
+                    None => missing,
+                    Some(f) => missing.difference_dyn(f.as_ref()),
+                };
+                if !nowhere.is_empty_dyn() {
+                    plan.push(Move::FirstTouch {
+                        item,
+                        region: nowhere,
+                    });
+                }
+            }
+            AccessMode::Read => {
+                let base = w.localities[loc].dim.read_base(item);
+                let missing = region.difference_dyn(base.as_ref());
+                if missing.is_empty_dyn() {
+                    continue;
+                }
+                let (pieces, hops) = w.index.resolve(item, loc, missing.as_ref());
+                w.monitor.index_lookups += 1;
+                w.monitor.index_lookup_hops += hops.len() as u64;
+                let mut found: Option<Box<dyn DynRegion>> = None;
+                for (piece, src) in pieces {
+                    if src == loc {
+                        found = Some(match found {
+                            None => piece,
+                            Some(f) => f.union_dyn(piece.as_ref()),
+                        });
+                        continue;
+                    }
+                    // Replication requires a write-unlocked source.
+                    if w.localities[src].dim.write_locked(item, piece.as_ref()) {
+                        return Err(());
+                    }
+                    found = Some(match found {
+                        None => piece.clone_box(),
+                        Some(f) => f.union_dyn(piece.as_ref()),
+                    });
+                    plan.push(Move::Replicate {
+                        item,
+                        region: piece,
+                        src,
+                    });
+                }
+                let nowhere = match found {
+                    None => missing,
+                    Some(f) => missing.difference_dyn(f.as_ref()),
+                };
+                if !nowhere.is_empty_dyn() {
+                    // Reading data that exists nowhere: first-touch it
+                    // (default values), mirroring lazy initialization.
+                    plan.push(Move::FirstTouch {
+                        item,
+                        region: nowhere,
+                    });
+                }
+            }
+        }
+    }
+    Ok(plan)
+}
+
+fn transfer_done(sim: &mut RtSim, tid: TaskId) {
+    let inf = sim.world.inflight.get_mut(&tid).unwrap();
+    inf.pending_transfers -= 1;
+    if inf.pending_transfers == 0 {
+        start_execution(sim, tid);
+    }
+}
+
+// ---------------------------------------------------------------- execution
+
+fn start_execution(sim: &mut RtSim, tid: TaskId) {
+    let loc = sim.world.inflight[&tid].loc;
+    // Run the real task body now (its effects are fenced by the held
+    // locks), then occupy a core for its declared + charged duration; the
+    // completion — lock release, replica drop, result propagation — fires
+    // when the core time elapses.
+    let (wi, declared) = {
+        let inf = sim.world.inflight.get_mut(&tid).unwrap();
+        let wi = inf.wi.take().expect("work item present");
+        let declared = wi.cost(&sim.world.cost, loc);
+        (wi, declared)
+    };
+    let result_bytes = wi.result_bytes();
+    let done = {
+        let mut ctx = TaskCtx {
+            locality: loc,
+            dim: &mut sim.world.localities[loc].dim,
+            charged: SimDuration::ZERO,
+        };
+        let done = wi.process(&mut ctx);
+        let charged = ctx.charged;
+        sim.world.inflight.get_mut(&tid).unwrap().pending_done = Some((done, result_bytes));
+        charged
+    };
+    let speed = sim.world.cost.speed(loc);
+    let charged = SimDuration::from_nanos_f64(done.as_nanos() as f64 / speed);
+    let dur = declared + charged + sim.world.cost.task_overhead(loc);
+    let now = sim.now();
+    let (_, end) = sim.world.localities[loc].cores.acquire(now, dur);
+    sim.world.monitor.per_locality[loc].busy_ns += dur.as_nanos();
+    sim.world.monitor.task_durations.record(dur.as_nanos());
+    sim.schedule_at(end, move |sim| finish_execution(sim, tid));
+}
+
+fn finish_execution(sim: &mut RtSim, tid: TaskId) {
+    let loc = sim.world.inflight[&tid].loc;
+    let (done_pack, parent, replicas) = {
+        let inf = sim.world.inflight.get_mut(&tid).unwrap();
+        (
+            inf.pending_done.take().expect("process ran"),
+            inf.parent,
+            std::mem::take(&mut inf.replicas),
+        )
+    };
+    let (done, result_bytes) = done_pack;
+    sim.world.monitor.per_locality[loc].tasks_executed += 1;
+
+    // Release locks (model rule (end)) and drop imported replicas
+    // (runtime replica removal), notifying owners so write fences lift.
+    sim.world.localities[loc].dim.unlock_all(tid);
+    let now = sim.now();
+    let mut dropped_items: Vec<ItemId> = Vec::new();
+    for (item, owner, region) in replicas {
+        if !dropped_items.contains(&item) {
+            sim.world.localities[loc].dim.drop_replica_holds(item, tid);
+            dropped_items.push(item);
+        }
+        let _ = region;
+        let bytes = sim.world.cost.control_msg_bytes;
+        let arr = send(&mut sim.world, now, loc, owner, bytes);
+        sim.schedule_at(arr, move |sim| {
+            sim.world.localities[owner].dim.release_exports_of(item, tid);
+            schedule_retries(sim);
+        });
+    }
+    sim.world.inflight.remove(&tid);
+    sim.world.localities[loc].load -= 1;
+
+    match done {
+        Done::Value(v) => finish_task(sim, loc, parent, v),
+        Done::Children(SplitOutcome { children, combine }) => {
+            if children.is_empty() {
+                let v = combine(Vec::new());
+                finish_task(sim, loc, parent, v);
+                return;
+            }
+            sim.world.parents.insert(
+                tid,
+                ParentRecord {
+                    loc,
+                    pending: children.len(),
+                    results: children.iter().map(|_| None).collect(),
+                    combine: Some(combine),
+                    parent,
+                    result_bytes,
+                },
+            );
+            for (i, child) in children.into_iter().enumerate() {
+                assign_task(sim, loc, child, Some((tid, i)));
+            }
+        }
+    }
+    schedule_retries(sim);
+}
+
+// --------------------------------------------------------------- completion
+
+fn finish_task(
+    sim: &mut RtSim,
+    loc: usize,
+    parent: Option<(TaskId, usize)>,
+    value: TaskValue,
+) {
+    match parent {
+        Some((ptid, idx)) => {
+            let p_loc = sim.world.parents[&ptid].loc;
+            let bytes = sim.world.parents[&ptid].result_bytes;
+            if p_loc != loc {
+                let now = sim.now();
+                let arr = send(&mut sim.world, now, loc, p_loc, bytes);
+                sim.schedule_at(arr, move |sim| child_done(sim, ptid, idx, value));
+            } else {
+                child_done(sim, ptid, idx, value);
+            }
+        }
+        None => {
+            // Root of a phase: advance the application.
+            advance_phase(sim, value);
+        }
+    }
+}
+
+fn child_done(sim: &mut RtSim, ptid: TaskId, idx: usize, value: TaskValue) {
+    let (ready, loc) = {
+        let p = sim.world.parents.get_mut(&ptid).expect("parent record");
+        p.results[idx] = Some(value);
+        p.pending -= 1;
+        (p.pending == 0, p.loc)
+    };
+    if !ready {
+        return;
+    }
+    let (results, combine, parent) = {
+        let mut p = sim.world.parents.remove(&ptid).unwrap();
+        (
+            std::mem::take(&mut p.results),
+            p.combine.take().unwrap(),
+            p.parent,
+        )
+    };
+    let values: Vec<TaskValue> = results
+        .into_iter()
+        .map(|r| r.expect("all children reported"))
+        .collect();
+    let combined = combine(values);
+    // Reinstate parent slot for finish_task's lookup.
+    match parent {
+        Some((gp, gidx)) => {
+            // Deliver to grandparent.
+            let p_loc = sim.world.parents[&gp].loc;
+            let bytes = sim.world.parents[&gp].result_bytes;
+            if p_loc != loc {
+                let now = sim.now();
+                let arr = send(&mut sim.world, now, loc, p_loc, bytes);
+                sim.schedule_at(arr, move |sim| child_done(sim, gp, gidx, combined));
+            } else {
+                child_done(sim, gp, gidx, combined);
+            }
+        }
+        None => advance_phase(sim, combined),
+    }
+}
+
+// ------------------------------------------------------------------ retries
+
+fn schedule_retries(sim: &mut RtSim) {
+    if sim.world.parked.is_empty() || sim.world.retry_scheduled {
+        return;
+    }
+    sim.world.retry_scheduled = true;
+    sim.schedule(SimDuration::from_nanos(1), |sim| {
+        sim.world.retry_scheduled = false;
+        let parked = std::mem::take(&mut sim.world.parked);
+        for tid in parked {
+            prepare_task(sim, tid);
+        }
+    });
+}

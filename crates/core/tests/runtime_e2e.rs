@@ -1,0 +1,811 @@
+//! End-to-end tests of the runtime: full applications (phases of pfor task
+//! trees) running over the simulated cluster, with results verified
+//! against sequential oracles.
+
+use allscale_core::{
+    pfor, CostModel, DataAwarePolicy, Grid, PforSpec, Requirement, RtConfig, RtCtx, Runtime,
+    TaskValue, WorkItem,
+};
+use allscale_region::{BoxRegion, GridBox, GridFragment, Point};
+
+fn config(nodes: usize, cores: usize) -> RtConfig {
+    RtConfig::test(nodes, cores)
+}
+
+/// One pfor phase initializing a grid, one verifying phase is impossible
+/// (driver-side verification instead via ctx.fragment_at).
+#[test]
+fn first_touch_initialization_distributes_data() {
+    struct State {
+        grid: Option<Grid<f64, 2>>,
+    }
+    let state = std::cell::RefCell::new(State { grid: None });
+    let state_ref = std::rc::Rc::new(state);
+    let state2 = state_ref.clone();
+
+    let rt = Runtime::new(config(4, 2));
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let grid = Grid::<f64, 2>::create(ctx, "A", [32, 32]);
+                    state2.borrow_mut().grid = Some(grid);
+                    let g = grid;
+                    Some(pfor(
+                        PforSpec {
+                            name: "init",
+                            range: grid.full_box(),
+                            grain: 64,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |ctx, p| {
+                            g.set(ctx, p.0, (p[0] * 100 + p[1]) as f64);
+                        },
+                    ))
+                }
+                1 => {
+                    // Verify: every locality owns a disjoint part; union
+                    // covers the grid; values correct.
+                    let grid = state2.borrow().grid.unwrap();
+                    let mut total: u64 = 0;
+                    let mut owners_with_data = 0;
+                    for loc in 0..ctx.nodes() {
+                        let frag = ctx.fragment_at::<GridFragment<f64, 2>>(loc, grid.id);
+                        if !frag.is_empty() {
+                            owners_with_data += 1;
+                        }
+                        total += frag.len() as u64;
+                        frag.for_each(|p, v| {
+                            assert_eq!(*v, (p[0] * 100 + p[1]) as f64, "value at {p:?}");
+                        });
+                    }
+                    assert_eq!(total, 32 * 32, "grid fully covered, no replicas");
+                    assert!(
+                        owners_with_data == 4,
+                        "data must spread over all 4 nodes, got {owners_with_data}"
+                    );
+                    None
+                }
+                _ => unreachable!(),
+            }
+        },
+    );
+    assert_eq!(report.phases, 1);
+    assert!(report.monitor.total_tasks() > 4, "leaf tasks ran");
+    assert!(report.finish_time.as_nanos() > 0);
+}
+
+/// Two grids, double buffered: init A, then B[p] = A[p]+1 with halo reads.
+/// Exercises read replication across localities.
+#[test]
+fn halo_reads_replicate_and_release() {
+    #[derive(Clone, Copy)]
+    struct Grids {
+        a: Grid<f64, 2>,
+        b: Grid<f64, 2>,
+    }
+    let cell: std::rc::Rc<std::cell::RefCell<Option<Grids>>> =
+        std::rc::Rc::new(std::cell::RefCell::new(None));
+    let cell2 = cell.clone();
+
+    const N: i64 = 24;
+    let rt = Runtime::new(config(4, 2));
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let a = Grid::<f64, 2>::create(ctx, "A", [N, N]);
+                    let b = Grid::<f64, 2>::create(ctx, "B", [N, N]);
+                    *cell2.borrow_mut() = Some(Grids { a, b });
+                    Some(pfor(
+                        PforSpec {
+                            name: "init",
+                            range: a.full_box(),
+                            grain: 32,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| vec![Requirement::write(a.id, BoxRegion::from_box(*tile))],
+                        move |ctx, p| a.set(ctx, p.0, (p[0] * N + p[1]) as f64),
+                    ))
+                }
+                1 => {
+                    let Grids { a, b } = cell2.borrow().unwrap();
+                    let universe = a.full_box();
+                    Some(pfor(
+                        PforSpec {
+                            name: "step",
+                            range: GridBox::new(Point([1, 1]), Point([N - 1, N - 1])).unwrap(),
+                            grain: 32,
+                            ns_per_point: 4.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| {
+                            let read = BoxRegion::from_box(*tile).dilate_within(1, &universe);
+                            vec![
+                                Requirement::read(a.id, read),
+                                Requirement::write(b.id, BoxRegion::from_box(*tile)),
+                            ]
+                        },
+                        move |ctx, p| {
+                            let v = a.get(ctx, [p[0] - 1, p[1]])
+                                + a.get(ctx, [p[0] + 1, p[1]])
+                                + a.get(ctx, [p[0], p[1] - 1])
+                                + a.get(ctx, [p[0], p[1] + 1]);
+                            b.set(ctx, p.0, v);
+                        },
+                    ))
+                }
+                2 => {
+                    // Verify against the sequential oracle.
+                    let Grids { a: _, b } = cell2.borrow().unwrap();
+                    let mut checked = 0u64;
+                    for loc in 0..ctx.nodes() {
+                        let frag = ctx.fragment_at::<GridFragment<f64, 2>>(loc, b.id);
+                        // Only owned data counts; replicas were dropped.
+                        let owned = ctx.owned_region_at(loc, b.id);
+                        frag.for_each(|p, v| {
+                            let expect = ((p[0] - 1) * N + p[1]) as f64
+                                + ((p[0] + 1) * N + p[1]) as f64
+                                + (p[0] * N + p[1] - 1) as f64
+                                + (p[0] * N + p[1] + 1) as f64;
+                            assert_eq!(*v, expect, "stencil value at {p:?}");
+                            checked += 1;
+                        });
+                        let _ = owned;
+                    }
+                    assert_eq!(checked, ((N - 2) * (N - 2)) as u64);
+                    None
+                }
+                _ => unreachable!(),
+            }
+        },
+    );
+    assert_eq!(report.phases, 2);
+    // Halo reads across node boundaries must have produced replicas…
+    let replicas: u64 = report
+        .monitor
+        .per_locality
+        .iter()
+        .map(|l| l.replicas_in)
+        .sum();
+    assert!(replicas > 0, "expected cross-node halo replication");
+    // …and remote traffic.
+    assert!(report.remote_msgs > 0);
+}
+
+/// The same program must produce bit-identical reports across runs
+/// (simulation determinism end to end).
+#[test]
+fn runs_are_deterministic() {
+    fn run_once() -> (u64, u64, u64) {
+        let rt = Runtime::new(config(3, 2));
+        let report = rt.run(
+            move |phase: usize,
+                  ctx: &mut RtCtx<'_>,
+                  _prev: TaskValue|
+                  -> Option<Box<dyn WorkItem>> {
+                if phase > 0 {
+                    return None;
+                }
+                let g = Grid::<u64, 1>::create(ctx, "v", [128]);
+                Some(pfor(
+                    PforSpec {
+                        name: "fill",
+                        range: g.full_box(),
+                        grain: 8,
+                        ns_per_point: 3.0,
+                            axis0_pieces: 0,
+                    },
+                    move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                    move |ctx, p| g.set(ctx, p.0, p[0] as u64 * 3),
+                ))
+            },
+        );
+        (
+            report.finish_time.as_nanos(),
+            report.monitor.total_msgs(),
+            report.events,
+        )
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+/// Tasks whose write requirements are owned by one node must be scheduled
+/// there (Algorithm 2 line 7-9): the second phase sends no migrations.
+#[test]
+fn tasks_follow_their_data() {
+    let cell: std::rc::Rc<std::cell::RefCell<Option<Grid<f64, 1>>>> =
+        std::rc::Rc::new(std::cell::RefCell::new(None));
+    let cell2 = cell.clone();
+    let rt = Runtime::new(config(4, 2));
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            let mk_pfor = |g: Grid<f64, 1>, name: &'static str| {
+                pfor(
+                    PforSpec {
+                        name,
+                        range: g.full_box(),
+                        grain: 16,
+                        ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                    },
+                    move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                    move |ctx, p| {
+                        let old = g.get(ctx, p.0);
+                        g.set(ctx, p.0, old + 1.0)
+                    },
+                )
+            };
+            match phase {
+                0 => {
+                    let g = Grid::<f64, 1>::create(ctx, "v", [256]);
+                    *cell2.borrow_mut() = Some(g);
+                    Some(mk_pfor(g, "touch"))
+                }
+                1..=3 => Some(mk_pfor(cell2.borrow().unwrap(), "update")),
+                4 => {
+                    // All values were incremented 4 times.
+                    let g = cell2.borrow().unwrap();
+                    let mut seen = 0;
+                    for loc in 0..ctx.nodes() {
+                        let frag = ctx.fragment_at::<GridFragment<f64, 1>>(loc, g.id);
+                        frag.for_each(|_, v| {
+                            assert_eq!(*v, 4.0);
+                            seen += 1;
+                        });
+                    }
+                    assert_eq!(seen, 256);
+                    None
+                }
+                _ => unreachable!(),
+            }
+        },
+    );
+    // After first touch, no ownership should ever move again.
+    let migrations: u64 = report
+        .monitor
+        .per_locality
+        .iter()
+        .map(|l| l.migrations_in)
+        .sum();
+    assert_eq!(migrations, 0, "steady-state phases must not migrate data");
+}
+
+/// Checkpoint/restore: wind the data back between phases.
+#[test]
+fn checkpoint_restores_data() {
+    let cell: std::rc::Rc<std::cell::RefCell<Option<Grid<f64, 1>>>> =
+        std::rc::Rc::new(std::cell::RefCell::new(None));
+    let cp: std::rc::Rc<std::cell::RefCell<Option<allscale_core::Checkpoint>>> =
+        std::rc::Rc::new(std::cell::RefCell::new(None));
+    let (cell2, cp2) = (cell.clone(), cp.clone());
+    let rt = Runtime::new(config(2, 2));
+    rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let g = Grid::<f64, 1>::create(ctx, "v", [64]);
+                    *cell2.borrow_mut() = Some(g);
+                    Some(pfor(
+                        PforSpec {
+                            name: "init",
+                            range: g.full_box(),
+                            grain: 8,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |ctx, p| g.set(ctx, p.0, 1.0),
+                    ))
+                }
+                1 => {
+                    // Snapshot, then clobber.
+                    *cp2.borrow_mut() = Some(ctx.checkpoint());
+                    let g = cell2.borrow().unwrap();
+                    Some(pfor(
+                        PforSpec {
+                            name: "clobber",
+                            range: g.full_box(),
+                            grain: 8,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |ctx, p| g.set(ctx, p.0, -99.0),
+                    ))
+                }
+                2 => {
+                    // Restore and verify.
+                    ctx.restore(cp2.borrow().as_ref().unwrap());
+                    let g = cell2.borrow().unwrap();
+                    let mut seen = 0;
+                    for loc in 0..ctx.nodes() {
+                        let frag = ctx.fragment_at::<GridFragment<f64, 1>>(loc, g.id);
+                        frag.for_each(|_, v| {
+                            assert_eq!(*v, 1.0, "restored value");
+                            seen += 1;
+                        });
+                    }
+                    assert_eq!(seen, 64);
+                    None
+                }
+                _ => unreachable!(),
+            }
+        },
+    );
+}
+
+/// Single-node runs work and use no network.
+#[test]
+fn single_node_runs_entirely_local() {
+    let rt = Runtime::new(config(1, 4));
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            if phase > 0 {
+                return None;
+            }
+            let g = Grid::<f64, 2>::create(ctx, "A", [16, 16]);
+            Some(pfor(
+                PforSpec {
+                    name: "init",
+                    range: g.full_box(),
+                    grain: 16,
+                    ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                },
+                move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                move |ctx, p| g.set(ctx, p.0, 1.0),
+            ))
+        },
+    );
+    assert_eq!(report.remote_msgs, 0);
+    assert!(report.monitor.total_tasks() >= 4);
+}
+
+/// Cost-model speed factors slow down the affected locality's work.
+#[test]
+fn speed_factors_shift_completion_time() {
+    fn run(slow: bool) -> u64 {
+        let mut cfg = config(2, 1);
+        if slow {
+            cfg.cost.speed_factors = vec![1.0, 0.25];
+        }
+        cfg.policy = Box::new(DataAwarePolicy::default());
+        let rt = Runtime::new(cfg);
+        let report = rt.run(
+            move |phase: usize,
+                  ctx: &mut RtCtx<'_>,
+                  _prev: TaskValue|
+                  -> Option<Box<dyn WorkItem>> {
+                if phase > 0 {
+                    return None;
+                }
+                let g = Grid::<f64, 1>::create(ctx, "v", [1 << 14]);
+                let c = CostModel::default();
+                let per_point = c.ns_per_flop * 100.0;
+                Some(pfor(
+                    PforSpec {
+                        name: "work",
+                        range: g.full_box(),
+                        grain: 1 << 10,
+                        ns_per_point: per_point,
+                            axis0_pieces: 0,
+                    },
+                    move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                    move |ctx, p| g.set(ctx, p.0, 1.0),
+                ))
+            },
+        );
+        report.finish_time.as_nanos()
+    }
+    let fast = run(false);
+    let slow = run(true);
+    assert!(
+        slow > fast + fast / 2,
+        "slow node must delay completion: fast={fast} slow={slow}"
+    );
+}
+
+/// Destroying an item removes it everywhere; a new item can reuse storage.
+#[test]
+fn destroy_item_clears_all_localities() {
+    let rt = Runtime::new(config(3, 2));
+    rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let g = Grid::<f64, 1>::create(ctx, "temp", [96]);
+                    Some(pfor(
+                        PforSpec {
+                            name: "touch",
+                            range: g.full_box(),
+                            grain: 8,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 12,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g.set(tctx, p.0, 1.0),
+                    ))
+                }
+                1 => {
+                    // The paper's destroy action: all placements and locks
+                    // of the item are deleted.
+                    ctx.destroy_item(allscale_core::ItemId(0));
+                    let violations = ctx.verify_consistency();
+                    assert!(violations.is_empty(), "{violations:?}");
+                    // A fresh item starts clean.
+                    let g2 = Grid::<f64, 1>::create(ctx, "fresh", [32]);
+                    Some(pfor(
+                        PforSpec {
+                            name: "touch2",
+                            range: g2.full_box(),
+                            grain: 8,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 4,
+                        },
+                        move |tile| vec![Requirement::write(g2.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g2.set(tctx, p.0, 2.0),
+                    ))
+                }
+                _ => None,
+            }
+        },
+    );
+}
+
+/// Persistent replicas (broadcast) serve reads everywhere without new
+/// transfers: a read-only phase after the broadcast moves no more data.
+#[test]
+fn broadcast_replicas_serve_reads_without_traffic() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let state: Rc<RefCell<(Option<Grid<f64, 1>>, u64)>> = Rc::new(RefCell::new((None, 0)));
+    let st = state.clone();
+    let rt = Runtime::new(config(4, 2));
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let g = Grid::<f64, 1>::create(ctx, "shared", [64]);
+                    st.borrow_mut().0 = Some(g);
+                    // Keep the data on one node (no axis-0 spreading).
+                    Some(pfor(
+                        PforSpec {
+                            name: "init",
+                            range: g.full_box(),
+                            grain: 64,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g.set(tctx, p.0, p[0] as f64),
+                    ))
+                }
+                1 => {
+                    let g = st.borrow().0.unwrap();
+                    let owner = (0..ctx.nodes())
+                        .find(|&l| !ctx.owned_region_at(l, g.id).is_empty_dyn())
+                        .unwrap();
+                    ctx.broadcast_replicate(g.id, owner, &g.full_region());
+                    // Remember replica count right after the broadcast.
+                    st.borrow_mut().1 = (0..ctx.nodes())
+                        .map(|_| 0u64)
+                        .sum::<u64>();
+                    // Read-only phase: every node sums the whole grid.
+                    Some(pfor(
+                        PforSpec {
+                            name: "read-everywhere",
+                            range: g.full_box(),
+                            grain: 4,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 16,
+                        },
+                        move |tile| vec![Requirement::read(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| {
+                            let v = g.get(tctx, p.0);
+                            assert_eq!(v, p[0] as f64);
+                        },
+                    ))
+                }
+                _ => None,
+            }
+        },
+    );
+    // Replica imports: exactly the broadcast's nodes-1 (no per-task
+    // re-replication of persistently replicated data).
+    let replicas: u64 = report
+        .monitor
+        .per_locality
+        .iter()
+        .map(|l| l.replicas_in)
+        .sum();
+    assert_eq!(replicas, 3, "only the broadcast itself replicates");
+}
+
+/// Scalar data items: a runtime-managed global parameter, first-touched
+/// by a setup task, broadcast, then read by every compute task.
+#[test]
+fn scalar_items_flow_through_the_runtime() {
+    use allscale_core::Scalar;
+    use allscale_region::UnitRegion;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type St = Rc<RefCell<Option<(Scalar<f64>, Grid<f64, 1>)>>>;
+    let st: St = Rc::new(RefCell::new(None));
+    let s2 = st.clone();
+    let rt = Runtime::new(config(4, 2));
+    rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let c = Scalar::<f64>::create(ctx, "coefficient");
+                    let g = Grid::<f64, 1>::create(ctx, "out", [64]);
+                    *s2.borrow_mut() = Some((c, g));
+                    // A single task sets the scalar (first touch).
+                    Some(pfor(
+                        PforSpec {
+                            name: "set-coeff",
+                            range: allscale_region::GridBox::<1>::from_shape([1]).unwrap(),
+                            grain: 1,
+                            ns_per_point: 5.0,
+                            axis0_pieces: 0,
+                        },
+                        move |_| vec![Requirement::write(c.id, UnitRegion::FULL)],
+                        move |tctx, _| c.set(tctx, 2.5),
+                    ))
+                }
+                1 => {
+                    let (c, g) = s2.borrow().unwrap();
+                    let owner = (0..ctx.nodes())
+                        .find(|&l| !ctx.owned_region_at(l, c.id).is_empty_dyn())
+                        .expect("scalar owned somewhere");
+                    ctx.broadcast_replicate(c.id, owner, &UnitRegion::FULL);
+                    Some(pfor(
+                        PforSpec {
+                            name: "scale",
+                            range: g.full_box(),
+                            grain: 4,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 16,
+                        },
+                        move |tile| {
+                            vec![
+                                Requirement::read(c.id, UnitRegion::FULL),
+                                Requirement::write(g.id, BoxRegion::from_box(*tile)),
+                            ]
+                        },
+                        move |tctx, p| {
+                            let k = c.get(tctx);
+                            g.set(tctx, p.0, k * p[0] as f64);
+                        },
+                    ))
+                }
+                _ => {
+                    let (_, g) = s2.borrow().unwrap();
+                    let mut seen = 0;
+                    for loc in 0..ctx.nodes() {
+                        let frag = ctx.fragment_at::<GridFragment<f64, 1>>(loc, g.id);
+                        frag.for_each(|p, v| {
+                            assert_eq!(*v, 2.5 * p[0] as f64);
+                            seen += 1;
+                        });
+                    }
+                    assert_eq!(seen, 64);
+                    None
+                }
+            }
+        },
+    );
+}
+
+/// Tree data items through the facade: distribute blocks by first touch,
+/// then run read tasks pinned to the block owners.
+#[test]
+fn tree_facade_distributes_and_reads() {
+    use allscale_core::Tree;
+    use allscale_region::{BitmaskTreeRegion, TreePath};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const H: u8 = 2; // 4 subtree blocks
+    const LEVELS: u8 = 5;
+    type T = Tree<u64, BitmaskTreeRegion>;
+    let st: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+    let s2 = st.clone();
+    let total: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+    let t2 = total.clone();
+
+    let rt = Runtime::new(config(4, 2));
+    rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let tree = T::create(ctx, "tree");
+                    *s2.borrow_mut() = Some(tree);
+                    // Distribute: one pfor index per block (0 = root
+                    // block, 1..=4 subtrees), writing node values = their
+                    // BFS index.
+                    Some(pfor(
+                        PforSpec {
+                            name: "tree-dist",
+                            range: allscale_region::GridBox::<1>::from_shape([5]).unwrap(),
+                            grain: 1,
+                            ns_per_point: 100.0,
+                            axis0_pieces: 4,
+                        },
+                        move |tile| {
+                            let mut region = BitmaskTreeRegion::new(H);
+                            for idx in tile.points() {
+                                if idx[0] == 0 {
+                                    region.set_root_block(true);
+                                } else {
+                                    region.set_subtree(idx[0] as usize - 1, true);
+                                }
+                            }
+                            vec![Requirement::write(tree.id, region)]
+                        },
+                        move |tctx, p| {
+                            let write_all = |tctx: &mut allscale_core::TaskCtx<'_>,
+                                             root: TreePath,
+                                             max_depth: u8| {
+                                let mut stack = vec![root];
+                                while let Some(path) = stack.pop() {
+                                    tree.set(tctx, path, path.bfs_index());
+                                    if path.depth() + 1 < max_depth {
+                                        stack.push(path.left());
+                                        stack.push(path.right());
+                                    }
+                                }
+                            };
+                            if p[0] == 0 {
+                                // Root block: depths 0..H.
+                                let mut stack = vec![TreePath::ROOT];
+                                while let Some(path) = stack.pop() {
+                                    tree.set(tctx, path, path.bfs_index());
+                                    if path.depth() + 1 < H {
+                                        stack.push(path.left());
+                                        stack.push(path.right());
+                                    }
+                                }
+                            } else {
+                                let region = BitmaskTreeRegion::new(H);
+                                write_all(tctx, region.subtree_root(p[0] as usize - 1), LEVELS);
+                            }
+                        },
+                    ))
+                }
+                1 => {
+                    // Sum every node via read tasks per block (forwarded to
+                    // the block owners by the scheduler).
+                    let tree = s2.borrow().unwrap();
+                    Some(pfor(
+                        PforSpec {
+                            name: "tree-sum",
+                            range: allscale_region::GridBox::<1>::from_shape([5]).unwrap(),
+                            grain: 1,
+                            ns_per_point: 100.0,
+                            axis0_pieces: 4,
+                        },
+                        move |tile| {
+                            let mut region = BitmaskTreeRegion::new(H);
+                            for idx in tile.points() {
+                                if idx[0] == 0 {
+                                    region.set_root_block(true);
+                                } else {
+                                    region.set_subtree(idx[0] as usize - 1, true);
+                                }
+                            }
+                            vec![Requirement::read(tree.id, region)]
+                        },
+                        move |tctx, p| {
+                            // Sum whatever this task's block holds.
+                            let frag = tctx
+                                .fragment::<allscale_region::TreeFragment<
+                                    u64,
+                                    BitmaskTreeRegion,
+                                >>(tree.id);
+                            let mut s = 0u64;
+                            let region = BitmaskTreeRegion::new(H);
+                            for (path, v) in frag.iter() {
+                                let in_block = match BitmaskTreeRegion::block_of(H, path) {
+                                    None => p[0] == 0,
+                                    Some(b) => p[0] as usize == b + 1,
+                                };
+                                if in_block {
+                                    s += v;
+                                }
+                            }
+                            let _ = region;
+                            let _ = s; // effect-only pfor; checked below
+                        },
+                    ))
+                }
+                _ => {
+                    // Driver-side: total of all node values equals the sum
+                    // of BFS indices 0..2^LEVELS-1.
+                    let tree = s2.borrow().unwrap();
+                    let mut sum = 0u64;
+                    let mut count = 0u64;
+                    for loc in 0..ctx.nodes() {
+                        let frag = ctx.fragment_at::<allscale_region::TreeFragment<
+                            u64,
+                            BitmaskTreeRegion,
+                        >>(loc, tree.id);
+                        for (_, v) in frag.iter() {
+                            sum += v;
+                            count += 1;
+                        }
+                    }
+                    let n = (1u64 << LEVELS) - 1;
+                    assert_eq!(count, n, "complete tree stored");
+                    assert_eq!(sum, n * (n - 1) / 2, "sum of BFS indices");
+                    *t2.borrow_mut() = sum;
+                    let _ = prev;
+                    None
+                }
+            }
+        },
+    );
+    assert!(*total.borrow() > 0);
+}
+
+/// The run report's summary renders and contains the headline counters.
+#[test]
+fn run_report_summary_renders()  {
+    let rt = Runtime::new(config(2, 2));
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            if phase > 0 {
+                return None;
+            }
+            let g = Grid::<f64, 1>::create(ctx, "v", [32]);
+            Some(pfor(
+                PforSpec {
+                    name: "t",
+                    range: g.full_box(),
+                    grain: 8,
+                    ns_per_point: 2.0,
+                    axis0_pieces: 4,
+                },
+                move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                move |ctx2, p| g.set(ctx2, p.0, 0.0),
+            ))
+        },
+    );
+    let s = report.summary();
+    assert!(s.contains("virtual time"));
+    assert!(s.contains("loc   0"));
+    assert!(s.contains("first-touch"));
+}
+
+/// Torus-topology clusters run the full stack too (ablation A4 plumbing).
+#[test]
+fn torus_cluster_end_to_end() {
+    let mut cfg = config(4, 2);
+    cfg.spec.topology = allscale_net::TopologyKind::Torus;
+    let rt = Runtime::new(cfg);
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            if phase > 0 {
+                return None;
+            }
+            let g = Grid::<f64, 1>::create(ctx, "v", [64]);
+            Some(pfor(
+                PforSpec {
+                    name: "t",
+                    range: g.full_box(),
+                    grain: 4,
+                    ns_per_point: 2.0,
+                    axis0_pieces: 16,
+                },
+                move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                move |ctx2, p| g.set(ctx2, p.0, 1.0),
+            ))
+        },
+    );
+    assert!(report.remote_msgs > 0);
+}

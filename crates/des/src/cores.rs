@@ -1,0 +1,163 @@
+//! Per-node compute-core accounting.
+//!
+//! Each simulated cluster node owns a [`CorePool`] modelling its `k` CPU
+//! cores as a first-come-first-served `k`-server queue: a task asking for
+//! `d` nanoseconds of core time starts on the earliest-free core (or
+//! immediately, if one is idle) and occupies it for `d`. This reproduces
+//! intra-node saturation — once more than `k` tasks are in flight, extra
+//! parallelism only queues — which is what makes weak-scaling curves bend
+//! realistically without simulating instruction streams.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A FCFS pool of `k` identical cores.
+#[derive(Debug, Clone)]
+pub struct CorePool {
+    /// `busy_until[i]` is when core *i* becomes free; kept as a min-heap.
+    busy_until: BinaryHeap<Reverse<SimTime>>,
+    cores: usize,
+    /// Total core-nanoseconds of work accepted (for utilization reports).
+    busy_ns: u64,
+}
+
+impl CorePool {
+    /// Create a pool of `cores` idle cores. `cores` must be nonzero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "a node needs at least one core");
+        let mut busy_until = BinaryHeap::with_capacity(cores);
+        for _ in 0..cores {
+            busy_until.push(Reverse(SimTime::ZERO));
+        }
+        CorePool {
+            busy_until,
+            cores,
+            busy_ns: 0,
+        }
+    }
+
+    /// Number of cores in the pool.
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Reserve `work` of core time starting no earlier than `now`.
+    ///
+    /// Returns `(start, end)`: the interval during which the work occupies
+    /// a core. `start >= now`, `end = start + work`.
+    pub fn acquire(&mut self, now: SimTime, work: SimDuration) -> (SimTime, SimTime) {
+        let Reverse(free_at) = self.busy_until.pop().expect("pool is never empty");
+        let start = free_at.max(now);
+        let end = start + work;
+        self.busy_until.push(Reverse(end));
+        self.busy_ns += work.as_nanos();
+        (start, end)
+    }
+
+    /// The earliest time at which some core is (or becomes) free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.busy_until.peek().expect("pool is never empty").0
+    }
+
+    /// Number of cores idle at time `now`.
+    pub fn idle_at(&self, now: SimTime) -> usize {
+        self.busy_until.iter().filter(|Reverse(t)| *t <= now).count()
+    }
+
+    /// Total accepted work in core-nanoseconds.
+    #[inline]
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Core utilization over the window `[0, now]` (may exceed 1.0 only if
+    /// work was accepted that ends beyond `now`).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (now.as_nanos() as f64 * self.cores as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(x: u64) -> SimDuration {
+        SimDuration::from_nanos(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::from_nanos(x)
+    }
+
+    #[test]
+    fn single_core_serializes() {
+        let mut p = CorePool::new(1);
+        assert_eq!(p.acquire(at(0), ns(10)), (at(0), at(10)));
+        assert_eq!(p.acquire(at(0), ns(10)), (at(10), at(20)));
+        assert_eq!(p.acquire(at(5), ns(10)), (at(20), at(30)));
+    }
+
+    #[test]
+    fn multiple_cores_run_in_parallel() {
+        let mut p = CorePool::new(4);
+        for _ in 0..4 {
+            assert_eq!(p.acquire(at(0), ns(100)), (at(0), at(100)));
+        }
+        // Fifth task queues behind the earliest-finishing core.
+        assert_eq!(p.acquire(at(0), ns(100)), (at(100), at(200)));
+    }
+
+    #[test]
+    fn idle_cores_start_immediately_later() {
+        let mut p = CorePool::new(2);
+        p.acquire(at(0), ns(1000));
+        // At t=500 the second core is still idle.
+        assert_eq!(p.acquire(at(500), ns(10)), (at(500), at(510)));
+        assert_eq!(p.idle_at(at(505)), 0);
+        assert_eq!(p.idle_at(at(511)), 1);
+        assert_eq!(p.idle_at(at(1001)), 2);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut p = CorePool::new(2);
+        p.acquire(at(0), ns(100));
+        p.acquire(at(0), ns(100));
+        assert!((p.utilization(at(100)) - 1.0).abs() < 1e-12);
+        assert!((p.utilization(at(200)) - 0.5).abs() < 1e-12);
+        assert_eq!(p.total_busy_ns(), 200);
+    }
+
+    #[test]
+    fn earliest_free_tracks_min() {
+        let mut p = CorePool::new(2);
+        assert_eq!(p.earliest_free(), at(0));
+        p.acquire(at(0), ns(50));
+        assert_eq!(p.earliest_free(), at(0));
+        p.acquire(at(0), ns(80));
+        assert_eq!(p.earliest_free(), at(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = CorePool::new(0);
+    }
+
+    #[test]
+    fn makespan_matches_k_server_bound() {
+        // 10 unit jobs on 3 cores => makespan ceil(10/3)*unit = 4 units.
+        let mut p = CorePool::new(3);
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            let (_, end) = p.acquire(SimTime::ZERO, ns(7));
+            last = last.max(end);
+        }
+        assert_eq!(last, at(28));
+    }
+}

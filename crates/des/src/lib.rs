@@ -1,0 +1,49 @@
+//! # allscale-des — deterministic discrete-event simulation kernel
+//!
+//! The substrate on which this repository reproduces the distributed-memory
+//! environment of *The AllScale Runtime Application Model* (CLUSTER 2018).
+//! The paper's evaluation ran on a 64-node Intel OmniPath cluster under the
+//! HPX runtime; neither is available here, so the cluster is replaced by a
+//! virtual-time simulation (see `DESIGN.md`, Section 2 for the substitution
+//! argument). Everything the runtime does — scheduling tasks, resolving data
+//! locations, migrating fragments — executes as real Rust code inside
+//! simulation events; only *time* is virtual.
+//!
+//! Components:
+//! - [`SimTime`] / [`SimDuration`]: virtual clock types (nanoseconds);
+//! - [`Sim`]: the event queue and dispatch loop, deterministic by
+//!   construction (stable FIFO tie-breaking);
+//! - [`CorePool`]: per-node k-core FCFS accounting for intra-node
+//!   parallelism and saturation;
+//! - [`ThreadActor`]: a strict-hand-off bridge that lets blocking SPMD code
+//!   (the MPI baseline) participate in the sequential simulation;
+//! - [`Tally`] / [`LogHistogram`]: measurement plumbing.
+//!
+//! ## Example
+//!
+//! ```
+//! use allscale_des::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new(0u64); // the "world" is a counter
+//! sim.schedule(SimDuration::from_micros(5), |sim| {
+//!     sim.world += 1;
+//!     sim.schedule(SimDuration::from_micros(5), |sim| sim.world += 1);
+//! });
+//! let end = sim.run();
+//! assert_eq!(sim.world, 2);
+//! assert_eq!(end.as_nanos(), 10_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cores;
+mod sim;
+mod stats;
+mod thread_actor;
+mod time;
+
+pub use cores::CorePool;
+pub use sim::{Event, Sim};
+pub use stats::{LogHistogram, Tally};
+pub use thread_actor::{Suspended, ThreadActor, ThreadCtx};
+pub use time::{SimDuration, SimTime};

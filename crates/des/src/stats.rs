@@ -1,0 +1,187 @@
+//! Lightweight measurement helpers shared by the runtime's monitoring
+//! component and the experiment harness.
+
+use std::fmt;
+
+/// A streaming counter with min/max/mean over `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if let Some(m) = other.min {
+            self.min = Some(self.min.map_or(m, |x| x.min(m)));
+        }
+        if let Some(m) = other.max {
+            self.max = Some(self.max.map_or(m, |x| x.max(m)));
+        }
+    }
+}
+
+impl fmt::Display for Tally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} sum={} mean={:.1} min={} max={}",
+            self.count,
+            self.sum,
+            self.mean(),
+            self.min.unwrap_or(0),
+            self.max.unwrap_or(0)
+        )
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (bucket *i* holds values whose
+/// highest set bit is *i*; value 0 goes in bucket 0).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    tally: Tally,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 64],
+            tally: Tally::new(),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = 63 - v.max(1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.tally.record(v);
+    }
+
+    /// Underlying tally (count/sum/min/max/mean).
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Approximate p-th percentile (0 < p <= 100) from bucket boundaries.
+    /// Returns the upper bound of the bucket containing the percentile.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.tally.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * n as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basics() {
+        let mut t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        for v in [5, 1, 9] {
+            t.record(v);
+        }
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.sum(), 15);
+        assert_eq!(t.min(), Some(1));
+        assert_eq!(t.max(), Some(9));
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_merge() {
+        let mut a = Tally::new();
+        a.record(10);
+        let mut b = Tally::new();
+        b.record(2);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(30));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.tally().count(), 6);
+        // p100 lands in the bucket containing 1000 (bucket 9: 512..1023).
+        assert_eq!(h.percentile(100.0), 1023);
+        // Median is within the small buckets.
+        assert!(h.percentile(50.0) <= 3);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(LogHistogram::new().percentile(99.0), 0);
+    }
+}

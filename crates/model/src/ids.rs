@@ -1,0 +1,74 @@
+//! Identifier newtypes for the formal model's universes: tasks `T`,
+//! variants `V`, data items `D`, element addresses `E`, compute units `C`,
+//! and memory address spaces `M` (paper Definitions 2.1-2.8).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A task `t ∈ T` (Definition 2.3).
+    TaskId,
+    "t"
+);
+id_type!(
+    /// A task variant `v ∈ V` (Definition 2.3).
+    VariantId,
+    "v"
+);
+id_type!(
+    /// A data item `d ∈ D` (Definition 2.1).
+    ItemId,
+    "d"
+);
+id_type!(
+    /// A logical element address `e ∈ E` (Definition 2.1).
+    Elem,
+    "e"
+);
+id_type!(
+    /// A compute unit `c ∈ C` (Definition 2.8).
+    CoreId,
+    "c"
+);
+id_type!(
+    /// A memory address space `m ∈ M` (Definition 2.8).
+    MemId,
+    "m"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", TaskId(3)), "t3");
+        assert_eq!(format!("{:?}", MemId(0)), "m0");
+        assert_eq!(format!("{}", Elem(17)), "e17");
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(VariantId(5), VariantId(5));
+    }
+}

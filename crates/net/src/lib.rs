@@ -1,0 +1,22 @@
+//! # allscale-net — the simulated cluster interconnect
+//!
+//! Replaces the paper's Intel OmniPath fat-tree (and HPX's communication
+//! layer) with a deterministic cost model over [`allscale_des`]:
+//!
+//! - [`wire`]: a compact binary serde format — all inter-locality data
+//!   movement is real serialized bytes, enforcing address-space separation;
+//! - [`FatTree`] / [`SingleSwitch`]: hop-count topologies;
+//! - [`Network`]: LogGP-style accounting (latency + bandwidth + per-NIC
+//!   occupancy) shared by the AllScale runtime and the MPI baseline;
+//! - [`ClusterSpec`]: one machine description used by both systems.
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod network;
+mod topology;
+pub mod wire;
+
+pub use cluster::{ClusterSpec, TopologyKind};
+pub use network::{NetParams, Network, TrafficStats};
+pub use topology::{AnyTopology, FatTree, NodeId, SingleSwitch, Topology, Torus2D};

@@ -1,0 +1,379 @@
+//! Box-set regions for N-dimensional grids (paper Fig. 4a).
+//!
+//! A single axis-aligned bounding box is *not* closed under union or
+//! difference, but a **set** of pairwise-disjoint boxes is — this is the
+//! region scheme the AllScale prototype ships for its `Grid` data item and
+//! the one used by the stencil and iPiC3D evaluation codes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{GridBox, Point};
+use crate::region::Region;
+
+/// A region of an N-dimensional grid: a set of pairwise-disjoint boxes.
+///
+/// The representation is normalized on construction: boxes never overlap,
+/// and a greedy merge pass fuses face-adjacent boxes to curb fragmentation
+/// (important for long-running simulations that repeatedly migrate halos).
+/// Semantic equality is still *set* equality, implemented by mutual
+/// difference, so structurally different decompositions compare equal.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct BoxRegion<const D: usize> {
+    boxes: Vec<GridBox<D>>,
+}
+
+impl<const D: usize> BoxRegion<D> {
+    /// The region of a single box.
+    pub fn from_box(b: GridBox<D>) -> Self {
+        BoxRegion { boxes: vec![b] }
+    }
+
+    /// The region `[lo, hi)`; empty if the box is degenerate.
+    pub fn cuboid(lo: impl Into<Point<D>>, hi: impl Into<Point<D>>) -> Self {
+        match GridBox::new(lo.into(), hi.into()) {
+            Some(b) => Self::from_box(b),
+            None => Self::empty(),
+        }
+    }
+
+    /// Build from arbitrary (possibly overlapping) boxes.
+    pub fn from_boxes<I: IntoIterator<Item = GridBox<D>>>(boxes: I) -> Self {
+        let mut r = Self::empty();
+        for b in boxes {
+            r = r.union(&Self::from_box(b));
+        }
+        r
+    }
+
+    /// The disjoint boxes making up this region.
+    pub fn boxes(&self) -> &[GridBox<D>] {
+        &self.boxes
+    }
+
+    /// Total number of lattice points covered.
+    pub fn cardinality(&self) -> u64 {
+        self.boxes.iter().map(|b| b.cardinality()).sum()
+    }
+
+    /// Whether the region contains the point `p`.
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        self.boxes.iter().any(|b| b.contains(p))
+    }
+
+    /// The smallest box enclosing the region, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<GridBox<D>> {
+        let first = self.boxes.first()?;
+        let mut lo = first.lo();
+        let mut hi = first.hi();
+        for b in &self.boxes[1..] {
+            lo = lo.cmin(&b.lo());
+            hi = hi.cmax(&b.hi());
+        }
+        GridBox::new(lo, hi)
+    }
+
+    /// Iterate over every point of the region.
+    pub fn points(&self) -> impl Iterator<Item = Point<D>> + '_ {
+        self.boxes.iter().flat_map(|b| b.points())
+    }
+
+    /// Grow the region by `r` in every direction, clamped to `universe` —
+    /// the neighbourhood operator used for stencil read requirements.
+    pub fn dilate_within(&self, r: i64, universe: &GridBox<D>) -> Self {
+        let mut out = Self::empty();
+        for b in &self.boxes {
+            if let Some(g) = b.dilate(r).intersect(universe) {
+                out = out.union(&Self::from_box(g));
+            }
+        }
+        out
+    }
+
+    /// Greedy merge of face-adjacent boxes (equal extent on all axes but
+    /// one, and touching on that one). Keeps representations compact.
+    fn coalesce(mut boxes: Vec<GridBox<D>>) -> Vec<GridBox<D>> {
+        loop {
+            let mut merged_any = false;
+            'outer: for i in 0..boxes.len() {
+                for j in i + 1..boxes.len() {
+                    if let Some(m) = try_merge(&boxes[i], &boxes[j]) {
+                        boxes[i] = m;
+                        boxes.swap_remove(j);
+                        merged_any = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged_any {
+                return boxes;
+            }
+        }
+    }
+}
+
+/// Merge two boxes into one if they tile a box exactly.
+fn try_merge<const D: usize>(a: &GridBox<D>, b: &GridBox<D>) -> Option<GridBox<D>> {
+    // They must agree on all axes except one, where they are adjacent.
+    let mut diff_axis = None;
+    for d in 0..D {
+        if a.lo()[d] == b.lo()[d] && a.hi()[d] == b.hi()[d] {
+            continue;
+        }
+        if diff_axis.is_some() {
+            return None;
+        }
+        diff_axis = Some(d);
+    }
+    let d = diff_axis?;
+    if a.hi()[d] == b.lo()[d] {
+        GridBox::new(a.lo(), {
+            let mut h = a.hi();
+            h[d] = b.hi()[d];
+            h
+        })
+    } else if b.hi()[d] == a.lo()[d] {
+        GridBox::new(b.lo(), {
+            let mut h = b.hi();
+            h[d] = a.hi()[d];
+            h
+        })
+    } else {
+        None
+    }
+}
+
+impl<const D: usize> PartialEq for BoxRegion<D> {
+    fn eq(&self, other: &Self) -> bool {
+        // Semantic set equality via mutual difference. Fast path: identical
+        // normalized representations.
+        if self.boxes == other.boxes {
+            return true;
+        }
+        if self.cardinality() != other.cardinality() {
+            return false;
+        }
+        self.difference(other).is_empty() && other.difference(self).is_empty()
+    }
+}
+
+impl<const D: usize> Eq for BoxRegion<D> {}
+
+impl<const D: usize> std::fmt::Debug for BoxRegion<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxRegion{:?}", self.boxes)
+    }
+}
+
+impl<const D: usize> Region for BoxRegion<D> {
+    fn empty() -> Self {
+        BoxRegion { boxes: Vec::new() }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        // A ∪ B = A ⊎ (B \ A): keep A's boxes, add the parts of B's boxes
+        // that survive subtracting every box of A.
+        let mut out = self.boxes.clone();
+        for b in &other.boxes {
+            let mut parts = vec![*b];
+            for a in &self.boxes {
+                let mut next = Vec::with_capacity(parts.len());
+                for p in parts {
+                    next.extend(p.subtract(a));
+                }
+                parts = next;
+                if parts.is_empty() {
+                    break;
+                }
+            }
+            out.extend(parts);
+        }
+        BoxRegion {
+            boxes: Self::coalesce(out),
+        }
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        for a in &self.boxes {
+            for b in &other.boxes {
+                if let Some(i) = a.intersect(b) {
+                    out.push(i);
+                }
+            }
+        }
+        // Disjointness of inputs makes outputs disjoint automatically.
+        BoxRegion {
+            boxes: Self::coalesce(out),
+        }
+    }
+
+    fn difference(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        for a in &self.boxes {
+            let mut parts = vec![*a];
+            for b in &other.boxes {
+                let mut next = Vec::with_capacity(parts.len());
+                for p in parts {
+                    next.extend(p.subtract(b));
+                }
+                parts = next;
+                if parts.is_empty() {
+                    break;
+                }
+            }
+            out.extend(parts);
+        }
+        BoxRegion {
+            boxes: Self::coalesce(out),
+        }
+    }
+
+    fn is_disjoint(&self, other: &Self) -> bool {
+        self.boxes
+            .iter()
+            .all(|a| other.boxes.iter().all(|b| a.intersect(b).is_none()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::check_laws;
+    use std::collections::BTreeSet;
+
+    fn r2(lo: [i64; 2], hi: [i64; 2]) -> BoxRegion<2> {
+        BoxRegion::cuboid(lo, hi)
+    }
+
+    fn oracle(r: &BoxRegion<2>) -> BTreeSet<[i64; 2]> {
+        r.points().map(|p| p.0).collect()
+    }
+
+    #[test]
+    fn basic_construction() {
+        let r = r2([0, 0], [3, 3]);
+        assert_eq!(r.cardinality(), 9);
+        assert!(!r.is_empty());
+        assert!(r2([2, 2], [2, 5]).is_empty()); // degenerate
+    }
+
+    #[test]
+    fn union_of_overlapping_boxes() {
+        let a = r2([0, 0], [4, 4]);
+        let b = r2([2, 2], [6, 6]);
+        let u = a.union(&b);
+        assert_eq!(u.cardinality(), 16 + 16 - 4);
+        assert!(u.contains(&Point([5, 5])));
+        assert!(u.contains(&Point([0, 0])));
+        assert!(!u.contains(&Point([5, 0])));
+    }
+
+    #[test]
+    fn union_disjointness_invariant() {
+        let a = r2([0, 0], [4, 4]);
+        let b = r2([2, 2], [6, 6]);
+        let u = a.union(&b);
+        for (i, x) in u.boxes().iter().enumerate() {
+            for y in u.boxes().iter().skip(i + 1) {
+                assert!(x.intersect(y).is_none(), "boxes overlap: {x:?} {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn difference_carves_hole() {
+        let a = r2([0, 0], [5, 5]);
+        let hole = r2([1, 1], [4, 4]);
+        let d = a.difference(&hole);
+        assert_eq!(d.cardinality(), 25 - 9);
+        assert!(!d.contains(&Point([2, 2])));
+        assert!(d.contains(&Point([0, 4])));
+    }
+
+    #[test]
+    fn semantic_equality_across_decompositions() {
+        // Same L-shape assembled two different ways.
+        let a = r2([0, 0], [2, 4]).union(&r2([2, 0], [4, 2]));
+        let b = r2([0, 0], [4, 2]).union(&r2([0, 2], [2, 4]));
+        assert_eq!(a, b);
+        assert_ne!(a, r2([0, 0], [4, 4]));
+    }
+
+    #[test]
+    fn coalescing_keeps_representation_small() {
+        // A 1x8 strip assembled from 8 unit boxes should merge down.
+        let mut r = BoxRegion::<2>::empty();
+        for i in 0..8 {
+            r = r.union(&r2([i, 0], [i + 1, 1]));
+        }
+        assert_eq!(r.boxes().len(), 1);
+        assert_eq!(r, r2([0, 8], [8, 9]).difference(&r2([0, 8], [8, 9])).union(&r2([0, 0], [8, 1])));
+    }
+
+    #[test]
+    fn dilate_within_universe() {
+        let u = GridBox::<2>::from_shape([10, 10]).unwrap();
+        let r = r2([0, 0], [2, 2]);
+        let g = r.dilate_within(1, &u);
+        // Clamped at the low corner, grown at the high corner.
+        assert_eq!(g, r2([0, 0], [3, 3]));
+    }
+
+    #[test]
+    fn bounding_box() {
+        let r = r2([0, 0], [1, 1]).union(&r2([5, 7], [6, 8]));
+        let bb = r.bounding_box().unwrap();
+        assert_eq!(bb.lo().0, [0, 0]);
+        assert_eq!(bb.hi().0, [6, 8]);
+        assert!(BoxRegion::<2>::empty().bounding_box().is_none());
+    }
+
+    #[test]
+    fn laws_on_fixed_cases() {
+        let cases = [
+            BoxRegion::<2>::empty(),
+            r2([0, 0], [3, 3]),
+            r2([1, 1], [4, 4]),
+            r2([0, 0], [1, 5]),
+            r2([0, 0], [2, 2]).union(&r2([3, 3], [5, 5])),
+            r2([2, 0], [3, 5]).union(&r2([0, 2], [5, 3])), // plus shape
+        ];
+        for a in &cases {
+            for b in &cases {
+                check_laws(a, b, oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn from_boxes_tolerates_overlap() {
+        let r = BoxRegion::from_boxes([
+            GridBox::new(Point([0, 0]), Point([3, 3])).unwrap(),
+            GridBox::new(Point([1, 1]), Point([4, 4])).unwrap(),
+            GridBox::new(Point([0, 0]), Point([2, 2])).unwrap(),
+        ]);
+        assert_eq!(r.cardinality(), 14);
+    }
+
+    #[test]
+    fn three_dimensional_regions() {
+        let a = BoxRegion::<3>::cuboid([0, 0, 0], [4, 4, 4]);
+        let b = BoxRegion::<3>::cuboid([2, 2, 2], [6, 6, 6]);
+        assert_eq!(a.intersect(&b).cardinality(), 8);
+        assert_eq!(a.union(&b).cardinality(), 64 + 64 - 8);
+        assert_eq!(a.difference(&b).cardinality(), 64 - 8);
+    }
+
+    #[test]
+    fn seven_dimensional_regions_compile_and_work() {
+        // TPC operates in 7-D space.
+        let a = BoxRegion::<7>::cuboid([0; 7], [2; 7]);
+        let b = BoxRegion::<7>::cuboid([1; 7], [3; 7]);
+        assert_eq!(a.intersect(&b).cardinality(), 1);
+        assert_eq!(a.union(&b).cardinality(), 128 + 128 - 1);
+    }
+}

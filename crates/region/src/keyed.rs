@@ -1,0 +1,593 @@
+//! Keyed (map/set) data items — the paper's claim that "more complex
+//! structures like lists, trees, graphs, sets, maps … can be implemented
+//! using this interface" (Sections 1 and 3.1), made concrete for maps.
+//!
+//! Elements are addressed by the *hash bucket* of their key: the region
+//! scheme [`BucketRegion`] is a bitmask over `B` buckets (closed under the
+//! set operations trivially), and [`KeyedFragment`] stores the key-value
+//! pairs of the covered buckets. Distribution therefore follows consistent
+//! hashing: the runtime can migrate or replicate any subset of buckets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::fragment::Fragment;
+use crate::region::Region;
+
+/// A region over the hash buckets of a keyed data item.
+///
+/// All regions of one item must use the same bucket count; mixing counts
+/// panics (it is a programming error, like mixing items).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct BucketRegion {
+    buckets: u32,
+    words: Vec<u64>,
+}
+
+impl PartialEq for BucketRegion {
+    fn eq(&self, other: &Self) -> bool {
+        // Semantic equality: empty regions are equal regardless of bucket
+        // count (the canonical `Region::empty()` uses one bucket).
+        if self.buckets == other.buckets {
+            self.words == other.words
+        } else {
+            self.is_empty() && other.is_empty()
+        }
+    }
+}
+
+impl Eq for BucketRegion {}
+
+impl BucketRegion {
+    /// An empty region over `buckets` buckets.
+    pub fn new(buckets: u32) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        BucketRegion {
+            buckets,
+            words: vec![0; (buckets as usize).div_ceil(64)],
+        }
+    }
+
+    /// The region covering every bucket.
+    pub fn full(buckets: u32) -> Self {
+        let mut r = Self::new(buckets);
+        for b in 0..buckets {
+            r.set(b, true);
+        }
+        r
+    }
+
+    /// A region of one bucket.
+    pub fn of_bucket(buckets: u32, b: u32) -> Self {
+        let mut r = Self::new(buckets);
+        r.set(b, true);
+        r
+    }
+
+    /// A contiguous bucket range `[lo, hi)` — the block-distribution
+    /// building block.
+    pub fn of_range(buckets: u32, lo: u32, hi: u32) -> Self {
+        let mut r = Self::new(buckets);
+        for b in lo..hi.min(buckets) {
+            r.set(b, true);
+        }
+        r
+    }
+
+    /// Total bucket count of the item.
+    pub fn buckets(&self) -> u32 {
+        self.buckets
+    }
+
+    /// Select or deselect a bucket.
+    pub fn set(&mut self, b: u32, on: bool) {
+        assert!(b < self.buckets, "bucket out of range");
+        let (w, i) = ((b / 64) as usize, b % 64);
+        if on {
+            self.words[w] |= 1 << i;
+        } else {
+            self.words[w] &= !(1 << i);
+        }
+    }
+
+    /// Whether bucket `b` is covered.
+    pub fn contains(&self, b: u32) -> bool {
+        if b >= self.buckets {
+            return false;
+        }
+        (self.words[(b / 64) as usize] >> (b % 64)) & 1 == 1
+    }
+
+    /// Iterate covered buckets.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.buckets).filter(|&b| self.contains(b))
+    }
+
+    /// Number of covered buckets.
+    pub fn cardinality(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The bucket a key hashes into (splitmix64 over the serde bytes is
+    /// overkill; a seeded FNV-1a keeps this dependency-free and stable).
+    pub fn bucket_of_bytes(buckets: u32, key_bytes: &[u8]) -> u32 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key_bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % buckets as u64) as u32
+    }
+
+    fn zip(&self, other: &Self, op: fn(u64, u64) -> u64) -> Self {
+        if self.buckets != other.buckets {
+            // Semantic escape hatches for the canonical empty value.
+            if self.is_empty() || other.is_empty() {
+                let buckets = self.buckets.max(other.buckets);
+                let a = self.resized(buckets);
+                let b = other.resized(buckets);
+                return a.zip(&b, op);
+            }
+            panic!("bucket regions with different bucket counts");
+        }
+        BucketRegion {
+            buckets: self.buckets,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(&a, &b)| op(a, b))
+                .collect(),
+        }
+    }
+
+    fn resized(&self, buckets: u32) -> Self {
+        debug_assert!(self.is_empty() || self.buckets == buckets);
+        let mut r = Self::new(buckets);
+        for b in self.iter() {
+            r.set(b, true);
+        }
+        r
+    }
+}
+
+impl std::fmt::Debug for BucketRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BucketRegion({}/{} buckets)",
+            self.cardinality(),
+            self.buckets
+        )
+    }
+}
+
+impl Region for BucketRegion {
+    fn empty() -> Self {
+        BucketRegion::new(1)
+    }
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+    fn union(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a | b)
+    }
+    fn intersect(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a & b)
+    }
+    fn difference(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a & !b)
+    }
+}
+
+/// The key-value pairs of a keyed data item's covered buckets.
+#[derive(Clone, Serialize, Deserialize)]
+#[serde(bound(
+    serialize = "K: Serialize, V: Serialize",
+    deserialize = "K: serde::de::DeserializeOwned + Ord, V: serde::de::DeserializeOwned"
+))]
+pub struct KeyedFragment<K: Ord, V> {
+    region: BucketRegion,
+    entries: BTreeMap<K, (u32, V)>, // key -> (bucket, value)
+}
+
+impl<K, V> KeyedFragment<K, V>
+where
+    K: Ord + Clone + Serialize + for<'a> Deserialize<'a> + 'static,
+    V: Clone + Serialize + for<'a> Deserialize<'a> + 'static,
+{
+    /// An empty fragment covering `region`.
+    pub fn new(region: BucketRegion) -> Self {
+        KeyedFragment {
+            region,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The bucket a key belongs to.
+    pub fn bucket_of(&self, key: &K) -> u32 {
+        let bytes = allscale_key_bytes(key);
+        BucketRegion::bucket_of_bytes(self.region.buckets(), &bytes)
+    }
+
+    /// Insert a key-value pair. Returns `false` (dropping the value) when
+    /// the key's bucket is not covered here.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        let b = self.bucket_of(&key);
+        if !self.region.contains(b) {
+            return false;
+        }
+        self.entries.insert(key, (b, value));
+        true
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|(_, v)| v)
+    }
+
+    /// Remove a key.
+    pub fn remove_key(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|(_, v)| v)
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, (_, v))| (k, v))
+    }
+}
+
+/// Stable serialized key bytes for hashing.
+fn allscale_key_bytes<K: Serialize>(key: &K) -> Vec<u8> {
+    // A tiny standalone encoding (the wire codec lives in allscale-net,
+    // which this crate must not depend on): serde → JSON-free canonical
+    // bytes via the debug of a minimal hand encoder would be fragile, so
+    // we use the pragmatic route — serde into a Vec through the compact
+    // `serde` "bincode-like" encoding implemented by `postcard`-style
+    // hand rolling is unnecessary: keys used by the runtime must simply
+    // provide stable bytes, which `serde`'s derive of `Serialize` into
+    // this minimal writer guarantees.
+    struct W(Vec<u8>);
+    impl W {
+        fn push(&mut self, b: &[u8]) {
+            self.0.extend_from_slice(b);
+        }
+    }
+    // Minimal serializer: only what keys need (ints, strings, tuples,
+    // newtypes). Anything else panics loudly.
+    use serde::ser::{Impossible, Serializer};
+    struct KeySer<'a>(&'a mut W);
+    #[derive(Debug)]
+    struct KeyErr(String);
+    impl std::fmt::Display for KeyErr {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+    impl std::error::Error for KeyErr {}
+    impl serde::ser::Error for KeyErr {
+        fn custom<T: std::fmt::Display>(m: T) -> Self {
+            KeyErr(m.to_string())
+        }
+    }
+    macro_rules! prim {
+        ($f:ident, $t:ty) => {
+            fn $f(self, v: $t) -> Result<(), KeyErr> {
+                self.0.push(&v.to_le_bytes());
+                Ok(())
+            }
+        };
+    }
+    impl<'a> Serializer for KeySer<'a> {
+        type Ok = ();
+        type Error = KeyErr;
+        type SerializeSeq = Impossible<(), KeyErr>;
+        type SerializeTuple = KeyTuple<'a>;
+        type SerializeTupleStruct = Impossible<(), KeyErr>;
+        type SerializeTupleVariant = Impossible<(), KeyErr>;
+        type SerializeMap = Impossible<(), KeyErr>;
+        type SerializeStruct = Impossible<(), KeyErr>;
+        type SerializeStructVariant = Impossible<(), KeyErr>;
+        prim!(serialize_i8, i8);
+        prim!(serialize_i16, i16);
+        prim!(serialize_i32, i32);
+        prim!(serialize_i64, i64);
+        prim!(serialize_u8, u8);
+        prim!(serialize_u16, u16);
+        prim!(serialize_u32, u32);
+        prim!(serialize_u64, u64);
+        prim!(serialize_f32, f32);
+        prim!(serialize_f64, f64);
+        fn serialize_bool(self, v: bool) -> Result<(), KeyErr> {
+            self.0.push(&[v as u8]);
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), KeyErr> {
+            self.0.push(&(v as u32).to_le_bytes());
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), KeyErr> {
+            self.0.push(v.as_bytes());
+            Ok(())
+        }
+        fn serialize_bytes(self, v: &[u8]) -> Result<(), KeyErr> {
+            self.0.push(v);
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), KeyErr> {
+            self.0.push(&[0]);
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), KeyErr> {
+            self.0.push(&[1]);
+            v.serialize(KeySer(self.0))
+        }
+        fn serialize_unit(self) -> Result<(), KeyErr> {
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), KeyErr> {
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            idx: u32,
+            _: &'static str,
+        ) -> Result<(), KeyErr> {
+            self.0.push(&idx.to_le_bytes());
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), KeyErr> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            idx: u32,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), KeyErr> {
+            self.0.push(&idx.to_le_bytes());
+            v.serialize(KeySer(self.0))
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, KeyErr> {
+            Err(serde::ser::Error::custom("seq keys unsupported"))
+        }
+        fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, KeyErr> {
+            Ok(KeyTuple(self.0))
+        }
+        fn serialize_tuple_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleStruct, KeyErr> {
+            Err(serde::ser::Error::custom("tuple-struct keys unsupported"))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeTupleVariant, KeyErr> {
+            Err(serde::ser::Error::custom("tuple-variant keys unsupported"))
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, KeyErr> {
+            Err(serde::ser::Error::custom("map keys unsupported"))
+        }
+        fn serialize_struct(
+            self,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStruct, KeyErr> {
+            Err(serde::ser::Error::custom("struct keys unsupported"))
+        }
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            _: usize,
+        ) -> Result<Self::SerializeStructVariant, KeyErr> {
+            Err(serde::ser::Error::custom("struct-variant keys unsupported"))
+        }
+    }
+    struct KeyTuple<'a>(&'a mut W);
+    impl serde::ser::SerializeTuple for KeyTuple<'_> {
+        type Ok = ();
+        type Error = KeyErr;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), KeyErr> {
+            v.serialize(KeySer(self.0))
+        }
+        fn end(self) -> Result<(), KeyErr> {
+            Ok(())
+        }
+    }
+
+    let mut w = W(Vec::new());
+    key.serialize(KeySer(&mut w)).expect("hashable key type");
+    w.0
+}
+
+impl<K, V> Fragment for KeyedFragment<K, V>
+where
+    K: Ord + Clone + Serialize + for<'a> Deserialize<'a> + 'static,
+    V: Clone + Serialize + for<'a> Deserialize<'a> + 'static,
+{
+    type Region = BucketRegion;
+
+    fn empty() -> Self {
+        KeyedFragment {
+            region: BucketRegion::empty(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn alloc(region: &BucketRegion) -> Self {
+        KeyedFragment::new(region.clone())
+    }
+
+    fn region(&self) -> BucketRegion {
+        self.region.clone()
+    }
+
+    fn extract(&self, region: &BucketRegion) -> Self {
+        let r = self.region.intersect(region);
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(_, (b, _))| r.contains(*b))
+            .map(|(k, bv)| (k.clone(), bv.clone()))
+            .collect();
+        KeyedFragment { region: r, entries }
+    }
+
+    fn insert(&mut self, other: &Self) {
+        self.region = self.region.union(&other.region);
+        for (k, bv) in &other.entries {
+            self.entries.insert(k.clone(), bv.clone());
+        }
+    }
+
+    fn remove(&mut self, region: &BucketRegion) {
+        self.region = self.region.difference(region);
+        let keep = self.region.clone();
+        self.entries.retain(|_, (b, _)| keep.contains(*b));
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.entries.len() * (std::mem::size_of::<K>() + std::mem::size_of::<V>() + 24)
+    }
+}
+
+impl<K: Ord, V> std::fmt::Debug for KeyedFragment<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KeyedFragment({:?}, {} entries)",
+            self.region,
+            self.entries.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::check_laws;
+    use std::collections::BTreeSet;
+
+    const B: u32 = 16;
+
+    fn oracle(r: &BucketRegion) -> BTreeSet<u32> {
+        r.iter().collect()
+    }
+
+    #[test]
+    fn bucket_region_laws() {
+        let cases = [
+            BucketRegion::new(B),
+            BucketRegion::full(B),
+            BucketRegion::of_range(B, 0, 8),
+            BucketRegion::of_range(B, 4, 12),
+            BucketRegion::of_bucket(B, 15),
+        ];
+        for a in &cases {
+            for b in &cases {
+                check_laws(a, b, oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn hashing_is_stable_and_spread() {
+        // Same key, same bucket, forever.
+        let b1 = BucketRegion::bucket_of_bytes(B, b"hello");
+        let b2 = BucketRegion::bucket_of_bytes(B, b"hello");
+        assert_eq!(b1, b2);
+        // Different keys spread over multiple buckets.
+        let used: BTreeSet<u32> = (0..64u64)
+            .map(|i| BucketRegion::bucket_of_bytes(B, &i.to_le_bytes()))
+            .collect();
+        assert!(used.len() >= 8, "poor spread: {used:?}");
+    }
+
+    #[test]
+    fn keyed_fragment_insert_get() {
+        let mut f: KeyedFragment<u64, String> = KeyedFragment::new(BucketRegion::full(B));
+        assert!(f.insert(7, "seven".into()));
+        assert!(f.insert(11, "eleven".into()));
+        assert_eq!(f.get(&7).map(String::as_str), Some("seven"));
+        assert_eq!(f.get(&99), None);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.remove_key(&7).as_deref(), Some("seven"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn uncovered_buckets_reject_inserts() {
+        // Find a key for bucket 0 and one for another bucket.
+        let covered = BucketRegion::of_bucket(B, 3);
+        let mut f: KeyedFragment<u64, u64> = KeyedFragment::new(covered);
+        let mut hit = None;
+        let mut miss = None;
+        for k in 0..1000u64 {
+            let b = BucketRegion::bucket_of_bytes(B, &allscale_key_bytes(&k));
+            if b == 3 && hit.is_none() {
+                hit = Some(k);
+            }
+            if b != 3 && miss.is_none() {
+                miss = Some(k);
+            }
+        }
+        let (hit, miss) = (hit.unwrap(), miss.unwrap());
+        let mut f2 = f.extract(&BucketRegion::full(B));
+        assert!(f.insert(hit, 1));
+        assert!(!f.insert(miss, 2), "uncovered bucket must reject");
+        let _ = &mut f2;
+    }
+
+    #[test]
+    fn migration_moves_buckets() {
+        let mut src: KeyedFragment<u64, u64> = KeyedFragment::new(BucketRegion::full(B));
+        for k in 0..200u64 {
+            src.insert(k, k * 10);
+        }
+        let lower = BucketRegion::of_range(B, 0, 8);
+        let moved = src.extract(&lower);
+        src.remove(&lower);
+        let mut dst: KeyedFragment<u64, u64> = KeyedFragment::new(BucketRegion::new(B));
+        Fragment::insert(&mut dst, &moved);
+        assert_eq!(src.len() + dst.len(), 200);
+        // Every key is in exactly one fragment, determined by its bucket.
+        for k in 0..200u64 {
+            let in_src = src.get(&k).is_some();
+            let in_dst = dst.get(&k).is_some();
+            assert!(in_src ^ in_dst, "key {k}");
+        }
+    }
+
+    #[test]
+    fn string_and_tuple_keys_hash() {
+        let mut f: KeyedFragment<String, u32> = KeyedFragment::new(BucketRegion::full(B));
+        assert!(f.insert("alpha".into(), 1));
+        assert_eq!(f.get(&"alpha".to_string()), Some(&1));
+        let mut g: KeyedFragment<(u32, u32), u32> = KeyedFragment::new(BucketRegion::full(B));
+        assert!(g.insert((3, 4), 7));
+        assert_eq!(g.get(&(3, 4)), Some(&7));
+    }
+}

@@ -1,0 +1,46 @@
+//! # allscale-region — regions and data item fragments
+//!
+//! Implements the data model of *The AllScale Runtime Application Model*
+//! (CLUSTER 2018): data items are assemblies of addressable elements
+//! (Def. 2.1) whose subsets are described by *regions* (Def. 2.2) closed
+//! under union, intersection, and set-difference (Section 3.1).
+//!
+//! Three region schemes mirror the paper's Fig. 4:
+//! - [`BoxRegion`]: sets of axis-aligned boxes over N-dimensional grids;
+//! - [`TreeRegion`]: include/exclude subtree sets over binary trees;
+//! - [`BitmaskTreeRegion`]: coarse blocked tree regions (root block +
+//!   `2^h` subtrees addressed by a bitmask);
+//!
+//! plus [`IntervalRegion`] for linearly addressed items.
+//!
+//! Element storage is provided by fragments ([`GridFragment`],
+//! [`TreeFragment`]) implementing the [`Fragment`] contract used by the
+//! runtime's data item manager.
+
+#![warn(missing_docs)]
+
+mod bitmask;
+mod boxes;
+mod fragment;
+mod grid_fragment;
+mod interval;
+mod keyed;
+mod point;
+mod region;
+mod scalar;
+mod tree;
+mod tree_fragment;
+mod treepath;
+
+pub use bitmask::BitmaskTreeRegion;
+pub use boxes::BoxRegion;
+pub use fragment::{Fragment, ItemType};
+pub use grid_fragment::GridFragment;
+pub use interval::IntervalRegion;
+pub use keyed::{BucketRegion, KeyedFragment};
+pub use point::{BoxPoints, GridBox, Point};
+pub use region::{check_laws, Region};
+pub use scalar::{ScalarFragment, UnitRegion};
+pub use tree::TreeRegion;
+pub use tree_fragment::{PathRegion, TreeFragment};
+pub use treepath::TreePath;

@@ -1,0 +1,276 @@
+//! Conformance of the runtime implementation to the formal application
+//! model (paper Section 2):
+//!
+//! - the runtime's distributed state is checked against the model's
+//!   invariants at every phase boundary of real application runs
+//!   (`RtCtx::verify_consistency`: exclusive ownership, index/DIM
+//!   agreement, quiescent locks);
+//! - the executable model itself (`allscale-model`) is exercised on
+//!   randomized programs and schedules, asserting the five properties of
+//!   Section 2.5 — including programs shaped like the applications
+//!   (fork-join phases over partitioned items).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type GridPair = Rc<RefCell<Option<(Grid<f64, 2>, Grid<f64, 2>)>>>;
+
+use allscale_core::{
+    pfor, Grid, PforSpec, Requirement, RtConfig, RtCtx, Runtime, TaskValue, WorkItem,
+};
+use allscale_model as model;
+use allscale_region::{BoxRegion, GridBox, Point};
+
+// ------------------------------------------------- runtime-side conformance
+
+/// Run a multi-phase double-buffered computation, verifying the model
+/// invariants between every pair of phases.
+#[test]
+fn runtime_state_satisfies_model_invariants_every_phase() {
+    const N: i64 = 32;
+    const STEPS: usize = 4;
+    let grids: GridPair = Rc::new(RefCell::new(None));
+    let gc = grids.clone();
+    let checked = Rc::new(RefCell::new(0usize));
+    let ck = checked.clone();
+
+    let runtime = Runtime::new(RtConfig::test(4, 2));
+    runtime.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            // The invariants must hold at *every* phase boundary.
+            let violations = ctx.verify_consistency();
+            assert!(
+                violations.is_empty(),
+                "phase {phase} violations: {violations:?}"
+            );
+            *ck.borrow_mut() += 1;
+
+            if phase == 0 {
+                let a = Grid::<f64, 2>::create(ctx, "A", [N, N]);
+                let b = Grid::<f64, 2>::create(ctx, "B", [N, N]);
+                *gc.borrow_mut() = Some((a, b));
+                return Some(pfor(
+                    PforSpec {
+                        name: "init",
+                        range: a.full_box(),
+                        grain: 32,
+                        ns_per_point: 2.0,
+                        axis0_pieces: 8,
+                    },
+                    move |tile| {
+                        vec![
+                            Requirement::write(a.id, BoxRegion::from_box(*tile)),
+                            Requirement::write(b.id, BoxRegion::from_box(*tile)),
+                        ]
+                    },
+                    move |tctx, p| {
+                        a.set(tctx, p.0, p[0] as f64);
+                        b.set(tctx, p.0, 0.0);
+                    },
+                ));
+            }
+            if phase <= STEPS {
+                let (a, b) = gc.borrow().unwrap();
+                let (src, dst) = if phase % 2 == 1 { (a, b) } else { (b, a) };
+                let universe = GridBox::from_shape([N, N]).unwrap();
+                return Some(pfor(
+                    PforSpec {
+                        name: "step",
+                        range: GridBox::new(Point([1, 1]), Point([N - 1, N - 1])).unwrap(),
+                        grain: 32,
+                        ns_per_point: 3.0,
+                        axis0_pieces: 8,
+                    },
+                    move |tile| {
+                        let read = BoxRegion::from_box(*tile).dilate_within(1, &universe);
+                        vec![
+                            Requirement::read(src.id, read),
+                            Requirement::write(dst.id, BoxRegion::from_box(*tile)),
+                        ]
+                    },
+                    move |tctx, p| {
+                        let v = src.get(tctx, [p[0] - 1, p[1]]) + src.get(tctx, [p[0] + 1, p[1]]);
+                        dst.set(tctx, p.0, v);
+                    },
+                ));
+            }
+            None
+        },
+    );
+    assert_eq!(*checked.borrow(), STEPS + 2, "checked every boundary");
+}
+
+/// Ownership migration (load balancing) preserves the invariants too.
+#[test]
+fn migration_preserves_model_invariants() {
+    let grid_cell: Rc<RefCell<Option<Grid<f64, 1>>>> = Rc::new(RefCell::new(None));
+    let gc = grid_cell.clone();
+    let runtime = Runtime::new(RtConfig::test(4, 2));
+    runtime.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let g = Grid::<f64, 1>::create(ctx, "v", [256]);
+                    *gc.borrow_mut() = Some(g);
+                    Some(pfor(
+                        PforSpec {
+                            name: "touch",
+                            range: g.full_box(),
+                            grain: 16,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 16,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g.set(tctx, p.0, 1.0),
+                    ))
+                }
+                1 => {
+                    let g = gc.borrow().unwrap();
+                    // Move whatever locality 0 owns to locality 3.
+                    let owned = ctx.owned_region_at(0, g.id);
+                    if !owned.is_empty_dyn() {
+                        ctx.migrate_region(g.id, owned.as_ref(), 0, 3);
+                    }
+                    let violations = ctx.verify_consistency();
+                    assert!(violations.is_empty(), "after migration: {violations:?}");
+                    // One more compute phase over the migrated layout.
+                    Some(pfor(
+                        PforSpec {
+                            name: "update",
+                            range: g.full_box(),
+                            grain: 16,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 16,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| {
+                            let v = g.get(tctx, p.0);
+                            g.set(tctx, p.0, v + 1.0);
+                        },
+                    ))
+                }
+                _ => {
+                    let violations = ctx.verify_consistency();
+                    assert!(violations.is_empty(), "final: {violations:?}");
+                    // Locality 0 must own nothing after donating its block
+                    // (tasks followed the data instead of pulling it back).
+                    let g = gc.borrow().unwrap();
+                    assert!(ctx.owned_region_at(0, g.id).is_empty_dyn());
+                    None
+                }
+            }
+        },
+    );
+}
+
+// --------------------------------------------------- model-side conformance
+
+/// Build a model program shaped like one pfor phase: an entry task
+/// creating an item, spawning `k` writer tasks over disjoint partitions,
+/// syncing on all of them.
+fn pfor_like_program(k: u32, elems_per_task: u32) -> model::Program {
+    use model::{Action, ItemId, ProgramBuilder, TaskId, VariantSpec};
+    let mut b = ProgramBuilder::new();
+    let item = ItemId(0);
+    b.item(item, k * elems_per_task);
+    for t in 0..k {
+        let elems: Vec<u32> = (t * elems_per_task..(t + 1) * elems_per_task).collect();
+        b.variant(
+            TaskId(t + 1),
+            VariantSpec {
+                writes: model::program::req(&[(item, &elems)]),
+                ..Default::default()
+            },
+        );
+    }
+    let mut actions = vec![Action::Create(item)];
+    for t in 0..k {
+        actions.push(Action::Spawn(TaskId(t + 1)));
+    }
+    for t in 0..k {
+        actions.push(Action::Sync(TaskId(t + 1)));
+    }
+    b.variant(
+        TaskId(0),
+        VariantSpec {
+            actions,
+            ..Default::default()
+        },
+    );
+    b.build(TaskId(0))
+}
+
+#[test]
+fn pfor_shaped_model_programs_satisfy_all_properties() {
+    for (seed, nodes, cores) in [(1u64, 2u32, 2u32), (2, 4, 2), (3, 8, 1), (4, 3, 3)] {
+        let program = pfor_like_program(6, 4);
+        let arch = model::Architecture::cluster(nodes, cores);
+        let mut driver = model::Driver::new(seed);
+        let (trace, outcome) = driver.run(&program, arch);
+        assert_eq!(
+            outcome,
+            model::Outcome::Terminated,
+            "seed {seed} on {nodes}x{cores}"
+        );
+        model::properties::check_all(&program, &trace)
+            .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+    }
+}
+
+#[test]
+fn deep_task_trees_satisfy_all_properties() {
+    use model::{Action, ProgramBuilder, TaskId, VariantSpec};
+    // A binary spawn tree of depth 3 (like a prec split tree).
+    let mut b = ProgramBuilder::new();
+    let mut next_task = 1u32;
+    // Build bottom-up: leaves first.
+    fn subtree(
+        b: &mut ProgramBuilder,
+        next: &mut u32,
+        depth: u32,
+    ) -> TaskId {
+        let me = TaskId(*next);
+        *next += 1;
+        if depth == 0 {
+            b.variant(me, VariantSpec::default());
+            return me;
+        }
+        let l = subtree(b, next, depth - 1);
+        let r = subtree(b, next, depth - 1);
+        b.variant(
+            me,
+            VariantSpec {
+                actions: vec![
+                    Action::Spawn(l),
+                    Action::Spawn(r),
+                    Action::Sync(l),
+                    Action::Sync(r),
+                ],
+                ..Default::default()
+            },
+        );
+        me
+    }
+    let l = subtree(&mut b, &mut next_task, 3);
+    let r = subtree(&mut b, &mut next_task, 3);
+    b.variant(
+        TaskId(0),
+        VariantSpec {
+            actions: vec![
+                Action::Spawn(l),
+                Action::Spawn(r),
+                Action::Sync(l),
+                Action::Sync(r),
+            ],
+            ..Default::default()
+        },
+    );
+    let program = b.build(TaskId(0));
+    for seed in 0..10 {
+        let mut driver = model::Driver::new(seed);
+        let (trace, outcome) = driver.run(&program, model::Architecture::cluster(4, 2));
+        assert_eq!(outcome, model::Outcome::Terminated, "seed {seed}");
+        model::properties::check_all(&program, &trace)
+            .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Assert the qualitative shapes of the paper's Fig. 7 at reduced node
+//! counts (1-8; the full 1-64 sweep is `cargo run -p allscale-bench --bin
+//! fig7` and recorded in EXPERIMENTS.md):
+//!
+//! - stencil / iPiC3D: AllScale within a modest constant of MPI, both
+//!   scaling near-linearly;
+//! - TPC: MPI keeps scaling while AllScale's per-query task forwarding
+//!   caps its gains.
+
+use allscale_apps::{ipic3d, stencil, tpc};
+
+fn efficiency(base: f64, now: f64, nodes: usize) -> f64 {
+    now / (base * nodes as f64)
+}
+
+#[test]
+fn stencil_both_versions_scale_nearly_linearly() {
+    let t = |nodes| {
+        let cfg = stencil::StencilConfig::paper_scaled(nodes);
+        (
+            stencil::allscale_version::run(&cfg).gflops,
+            stencil::mpi_version::run(&cfg).gflops,
+        )
+    };
+    let (a1, m1) = t(1);
+    let (a8, m8) = t(8);
+    let eff_a = efficiency(a1, a8, 8);
+    let eff_m = efficiency(m1, m8, 8);
+    assert!(eff_a > 0.8, "AllScale stencil efficiency {eff_a:.2} at 8 nodes");
+    assert!(eff_m > 0.8, "MPI stencil efficiency {eff_m:.2} at 8 nodes");
+    // Comparable performance (paper: "comparable performance and
+    // scalability"): AllScale within 2x of MPI.
+    assert!(a8 > m8 / 2.0, "AllScale {a8:.1} vs MPI {m8:.1} GFLOPS");
+}
+
+#[test]
+fn ipic3d_both_versions_scale_nearly_linearly() {
+    let t = |nodes| {
+        let cfg = ipic3d::PicConfig::paper_scaled(nodes);
+        (
+            ipic3d::allscale_version::run(&cfg).updates_per_sec,
+            ipic3d::mpi_version::run(&cfg).updates_per_sec,
+        )
+    };
+    let (a1, m1) = t(1);
+    let (a8, m8) = t(8);
+    assert!(efficiency(a1, a8, 8) > 0.8, "AllScale PIC efficiency");
+    assert!(efficiency(m1, m8, 8) > 0.8, "MPI PIC efficiency");
+    assert!(a8 > m8 / 2.0);
+}
+
+#[test]
+fn tpc_mpi_scales_while_allscale_saturates() {
+    let t = |nodes| {
+        let cfg = tpc::TpcConfig::paper_scaled(nodes);
+        (
+            tpc::allscale_version::run(&cfg).queries_per_sec,
+            tpc::mpi_version::run(&cfg).queries_per_sec,
+        )
+    };
+    let (a1, m1) = t(1);
+    let (a4, m4) = t(4);
+    let (a8, m8) = t(8);
+    // MPI keeps gaining.
+    assert!(m8 > m4 && m4 > m1, "MPI TPC must keep scaling: {m1:.0} {m4:.0} {m8:.0}");
+    // AllScale's efficiency collapses: far below linear by 8 nodes.
+    let eff_a8 = efficiency(a1, a8, 8);
+    assert!(
+        eff_a8 < 0.5,
+        "AllScale TPC should saturate (efficiency {eff_a8:.2} at 8 nodes)"
+    );
+    // And MPI ends up clearly ahead (paper: "MPI obtains higher
+    // performance").
+    assert!(m8 > 2.0 * a8, "MPI {m8:.0} vs AllScale {a8:.0} queries/s");
+    let _ = a4;
+}
+
+#[test]
+fn tpc_batching_recovers_scaling() {
+    // Ablation A3: the paper's proposed-but-unimplemented optimization,
+    // implemented: batching queries restores scaling headroom.
+    let run = |nodes, batch| {
+        let mut cfg = tpc::TpcConfig::paper_scaled(nodes);
+        cfg.batch = batch;
+        tpc::allscale_version::run(&cfg)
+    };
+    let plain = run(8, 1);
+    let batched = run(8, 32);
+    assert!(
+        batched.queries_per_sec > 1.5 * plain.queries_per_sec,
+        "batched {:.0} vs plain {:.0} queries/s",
+        batched.queries_per_sec,
+        plain.queries_per_sec
+    );
+    assert!(batched.remote_msgs < plain.remote_msgs);
+}
