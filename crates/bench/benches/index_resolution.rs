@@ -1,10 +1,11 @@
 //! Microbenchmarks of the hierarchical distributed index (paper Fig. 5 +
 //! Algorithm 1) against the central-directory ablation (A1): resolution
-//! cost and hop counts across cluster sizes.
+//! cost and hop counts across cluster sizes, plus cached vs. uncached
+//! repeat-resolutions through the [`LocationCache`].
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use allscale_core::{CentralIndex, DistIndex, ItemId};
+use allscale_core::{CentralIndex, DistIndex, ItemId, LocationCache};
 use allscale_region::{BoxRegion, Region};
 
 fn r1(lo: i64, hi: i64) -> BoxRegion<1> {
@@ -56,6 +57,38 @@ fn bench_resolution(c: &mut Criterion) {
     g.finish();
 }
 
+/// Repeat-resolution of a stable distribution: the scheduler's steady-state
+/// access pattern. The cached variant should beat the uncached traversal by
+/// a wide margin (acceptance: ≥ 5× at 64 processes) because a warm hit is a
+/// hash lookup plus a piece-list clone, with zero control-message hops.
+fn bench_cached_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_resolve_cached");
+    for &procs in &[8usize, 64, 256] {
+        let dist = populated_dist(procs);
+        let far = r1((procs as i64 - 1) * 100, procs as i64 * 100);
+        let spread = r1(50, (procs as i64) * 100 - 50);
+        g.bench_with_input(BenchmarkId::new("uncached_far", procs), &procs, |b, _| {
+            b.iter(|| dist.resolve(ItemId(0), 0, black_box(&far)))
+        });
+        g.bench_with_input(BenchmarkId::new("cached_far", procs), &procs, |b, _| {
+            let mut cache = LocationCache::new();
+            cache.resolve(&dist, ItemId(0), 0, &far); // warm
+            b.iter(|| cache.resolve(&dist, ItemId(0), 0, black_box(&far)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("uncached_spread", procs),
+            &procs,
+            |b, _| b.iter(|| dist.resolve(ItemId(0), 0, black_box(&spread))),
+        );
+        g.bench_with_input(BenchmarkId::new("cached_spread", procs), &procs, |b, _| {
+            let mut cache = LocationCache::new();
+            cache.resolve(&dist, ItemId(0), 0, &spread); // warm
+            b.iter(|| cache.resolve(&dist, ItemId(0), 0, black_box(&spread)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_updates(c: &mut Criterion) {
     let mut g = c.benchmark_group("index_update");
     for &procs in &[8usize, 64, 256] {
@@ -75,5 +108,5 @@ fn bench_updates(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_resolution, bench_updates);
+criterion_group!(benches, bench_resolution, bench_cached_resolution, bench_updates);
 criterion_main!(benches);

@@ -35,6 +35,14 @@ pub trait DynRegion: fmt::Debug {
     /// Serialize for transmission (control-plane sizing is billed off the
     /// encoded length).
     fn encode(&self) -> Vec<u8>;
+    /// A cheap, stable 64-bit fingerprint of the region value, used as the
+    /// location-cache key. Computed over the canonical wire encoding, so
+    /// equal *representations* always agree; semantically equal regions
+    /// with different internal structure may fingerprint differently, and
+    /// distinct regions may collide — consumers needing exactness (the
+    /// cache does) must confirm with [`DynRegion::eq_dyn`]. Either way the
+    /// cost is a cache miss, never a wrong answer.
+    fn fingerprint_dyn(&self) -> u64;
     /// Downcasting support.
     fn as_any(&self) -> &dyn Any;
 }
@@ -60,6 +68,9 @@ impl<R: Region> DynRegion for R {
     }
     fn encode(&self) -> Vec<u8> {
         wire::encode(self).expect("region serialization cannot fail")
+    }
+    fn fingerprint_dyn(&self) -> u64 {
+        allscale_region::fnv1a_64(&wire::encode(self).expect("region serialization cannot fail"))
     }
     fn as_any(&self) -> &dyn Any {
         self
@@ -254,6 +265,16 @@ mod tests {
         let typed = g.as_any().downcast_ref::<GridFragment<f64, 2>>().unwrap();
         assert_eq!(typed.get(&allscale_region::Point([3, 3])), Some(&9.0));
         assert!(g.region_dyn().eq_dyn(&r2([3, 3], [4, 4])));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let a: Box<dyn DynRegion> = Box::new(r2([0, 0], [4, 4]));
+        let b: Box<dyn DynRegion> = Box::new(r2([0, 0], [4, 5]));
+        // Equal values fingerprint identically, across clones.
+        assert_eq!(a.fingerprint_dyn(), a.clone_box().fingerprint_dyn());
+        // Different values (almost surely) fingerprint differently.
+        assert_ne!(a.fingerprint_dyn(), b.fingerprint_dyn());
     }
 
     #[test]

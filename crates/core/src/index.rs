@@ -155,14 +155,20 @@ impl DistIndex {
     /// and the inter-process hops crossed, in traversal order.
     ///
     /// Unresolved remainders (data that exists nowhere) are simply not in
-    /// the output — `⋃ m ⊆ r`, as the paper specifies.
+    /// the output — `⋃ m ⊆ r`, as the paper specifies. By the same
+    /// semantics, an *unregistered* item (never created, or already
+    /// destroyed) resolves to the empty resolution: nothing of it exists
+    /// anywhere, and no traversal (hence no hops) is needed to know that,
+    /// since item registration is replicated on every process.
     pub fn resolve(
         &self,
         item: ItemId,
         start: usize,
         region: &dyn DynRegion,
     ) -> (Resolution, Vec<Hop>) {
-        let idx = self.items.get(&item).expect("unregistered item");
+        let Some(idx) = self.items.get(&item) else {
+            return (Vec::new(), Vec::new());
+        };
         let mut m: Resolution = Vec::new();
         let mut hops: Vec<Hop> = Vec::new();
         let remainder = self.resolve_rec(
@@ -246,24 +252,30 @@ impl DistIndex {
             return None;
         }
         let (pieces, _) = self.resolve(item, start, region);
-        let mut owner: Option<usize> = None;
-        let mut covered = pieces
-            .first()
-            .map(|(r, _)| r.difference_dyn(r.as_ref()))
-            .unwrap_or_else(|| region.difference_dyn(region));
-        for (piece, host) in &pieces {
-            match owner {
-                None => owner = Some(*host),
-                Some(o) if o != *host => return None,
-                _ => {}
-            }
-            covered = covered.union_dyn(piece.as_ref());
+        sole_owner_from(region, &pieces)
+    }
+}
+
+/// The single process hosting every piece of a resolution that also fully
+/// covers `region`, if any — shared by [`DistIndex::sole_owner`] and the
+/// location cache's cached variant.
+pub(crate) fn sole_owner_from(region: &dyn DynRegion, pieces: &Resolution) -> Option<usize> {
+    let mut owner: Option<usize> = None;
+    let mut covered: Option<Box<dyn DynRegion>> = None;
+    for (piece, host) in pieces {
+        match owner {
+            None => owner = Some(*host),
+            Some(o) if o != *host => return None,
+            _ => {}
         }
-        if region.difference_dyn(covered.as_ref()).is_empty_dyn() {
-            owner
-        } else {
-            None
-        }
+        covered = Some(match covered {
+            None => piece.clone_box(),
+            Some(c) => c.union_dyn(piece.as_ref()),
+        });
+    }
+    match covered {
+        Some(c) if region.difference_dyn(c.as_ref()).is_empty_dyn() => owner,
+        _ => None,
     }
 }
 
@@ -305,15 +317,27 @@ impl CentralIndex {
     }
 
     /// Resolve by scanning the directory; one round-trip to process 0.
+    ///
+    /// Unregistered items resolve to the empty resolution (the directory
+    /// knows nothing of them), though the round-trip asking it is still
+    /// billed — the central directory is the only place that can answer.
     pub fn resolve(
         &self,
         item: ItemId,
         start: usize,
         region: &dyn DynRegion,
     ) -> (Resolution, Vec<Hop>) {
+        let hops = if start != 0 {
+            vec![(start, 0), (0, start)]
+        } else {
+            Vec::new()
+        };
+        let Some(dir) = self.items.get(&item) else {
+            return (Vec::new(), hops);
+        };
         let mut m = Vec::new();
         let mut r = region.clone_box();
-        for (p, owned) in self.items[&item].iter().enumerate() {
+        for (p, owned) in dir.iter().enumerate() {
             let share = r.intersect_dyn(owned.as_ref());
             if !share.is_empty_dyn() {
                 m.push((share.clone_box(), p));
@@ -323,11 +347,6 @@ impl CentralIndex {
                 }
             }
         }
-        let hops = if start != 0 {
-            vec![(start, 0), (0, start)]
-        } else {
-            Vec::new()
-        };
         (m, hops)
     }
 }
@@ -422,6 +441,32 @@ mod tests {
         let (idx, item) = populated(4, 10);
         let (m, _) = idx.resolve(item, 1, &r1(100, 120));
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn unregistered_item_resolves_to_nothing() {
+        // Regression: resolving an item that was never registered (or was
+        // destroyed) must return the empty resolution (⋃ m ⊆ r), not panic.
+        let (mut idx, item) = populated(4, 10);
+        let ghost = ItemId(99);
+        let (m, hops) = idx.resolve(ghost, 1, &r1(0, 10));
+        assert!(m.is_empty());
+        assert!(hops.is_empty());
+        assert_eq!(idx.sole_owner(ghost, 1, &r1(0, 10)), None);
+        // The destroy path goes through the same code.
+        idx.remove_item(item);
+        let (m, _) = idx.resolve(item, 0, &r1(0, 10));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn central_unregistered_item_resolves_to_nothing() {
+        let idx = CentralIndex::new(4);
+        let (m, hops) = idx.resolve(ItemId(7), 3, &r1(0, 10));
+        assert!(m.is_empty());
+        // The directory round-trip is still billed: only process 0 can say
+        // the item is unknown.
+        assert_eq!(hops, vec![(3, 0), (0, 3)]);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   (`Lr`/`Lw`), replica/export tracking;
 //! - [`DistIndex`]: the hierarchical distributed data index (Fig. 5) with
 //!   Algorithm 1's region location resolution;
+//! - [`LocationCache`]: a per-locality cache in front of the index that
+//!   memoizes resolutions with epoch-based invalidation, keeping the hot
+//!   lookup path of data-aware scheduling free of repeated traversals;
 //! - the scheduler in [`runtime`]: Algorithm 2's data-requirement-aware
 //!   task placement with pluggable [`SchedulingPolicy`];
 //! - [`WorkItem`] / [`Prec`]: tasks with process/split variants and data
@@ -59,6 +62,7 @@ pub mod dim;
 pub mod dynamic;
 pub mod facade;
 pub mod index;
+pub mod loc_cache;
 pub mod monitor;
 pub mod policy;
 pub mod rebalance;
@@ -73,6 +77,7 @@ pub use facade::{
     Scalar, ScalarItem, Tree, TreeItem,
 };
 pub use index::{CentralIndex, DistIndex};
+pub use loc_cache::{CacheStats, LocationCache};
 pub use monitor::{LocalityStats, Monitor, RunReport};
 pub use policy::{
     DataAwarePolicy, PolicyEnv, RandomPolicy, RoundRobinPolicy, SchedulingPolicy, Variant,

@@ -5,6 +5,8 @@
 
 use allscale_des::{SimTime, Tally};
 
+use crate::loc_cache::CacheStats;
+
 /// Counters of one locality.
 #[derive(Debug, Clone, Default)]
 pub struct LocalityStats {
@@ -39,6 +41,10 @@ pub struct Monitor {
     pub index_update_hops: u64,
     /// Index lookups performed.
     pub index_lookups: u64,
+    /// Location-cache effectiveness (hits/misses/invalidations and the
+    /// control-message hops the hits avoided). All zeros when the run used
+    /// the central-directory index, which bypasses the cache.
+    pub cache: CacheStats,
     /// Distribution of task compute durations (ns).
     pub task_durations: Tally,
 }
@@ -138,6 +144,16 @@ impl RunReport {
             self.monitor.index_lookup_hops,
             self.monitor.index_update_hops,
             self.monitor.busy_imbalance(),
+        );
+        let c = &self.monitor.cache;
+        let _ = writeln!(
+            out,
+            "location cache: {} hits / {} misses ({:.0}% hit rate), {} invalidations, {} hops saved",
+            c.hits,
+            c.misses,
+            c.hit_rate() * 100.0,
+            c.invalidations,
+            c.saved_hops,
         );
         for (i, l) in self.monitor.per_locality.iter().enumerate() {
             let _ = writeln!(

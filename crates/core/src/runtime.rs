@@ -35,7 +35,8 @@ use allscale_region::ItemType;
 use crate::cost::CostModel;
 use crate::dim::DataItemManager;
 use crate::dynamic::{DynRegion, ItemDescriptor};
-use crate::index::{CentralIndex, DistIndex, Hop};
+use crate::index::{CentralIndex, DistIndex, Hop, Resolution};
+use crate::loc_cache::LocationCache;
 use crate::monitor::{Monitor, RunReport};
 use crate::policy::{DataAwarePolicy, PolicyEnv, SchedulingPolicy, Variant};
 use crate::task::{
@@ -78,17 +79,6 @@ impl IndexImpl {
         match self {
             IndexImpl::Dist(i) => i.update_leaf(item, p, region),
             IndexImpl::Central(i) => i.update_leaf(item, p, region),
-        }
-    }
-    fn resolve(
-        &self,
-        item: ItemId,
-        start: usize,
-        region: &dyn DynRegion,
-    ) -> (crate::index::Resolution, Vec<Hop>) {
-        match self {
-            IndexImpl::Dist(i) => i.resolve(item, start, region),
-            IndexImpl::Central(i) => i.resolve(item, start, region),
         }
     }
 }
@@ -161,6 +151,10 @@ pub struct RtWorld {
     /// Monitoring counters.
     pub monitor: Monitor,
     index: IndexImpl,
+    /// Location cache in front of the hierarchical index (keyed by start
+    /// locality, so it behaves as one private cache per locality). Unused
+    /// when the central-directory ablation is active.
+    loc_cache: LocationCache,
     item_descs: BTreeMap<ItemId, ItemDescriptor>,
     inflight: BTreeMap<TaskId, Inflight>,
     parents: BTreeMap<TaskId, ParentRecord>,
@@ -245,6 +239,7 @@ impl RtCtx<'_> {
             loc.dim.destroy(item);
         }
         self.world.index.remove_item(item);
+        self.world.loc_cache.forget(item);
         self.world.item_descs.remove(&item);
     }
 
@@ -297,15 +292,14 @@ impl RtCtx<'_> {
         let w = &mut self.world;
         let bytes = w.localities[from].dim.export_migration(item, region);
         let new_src_owned = w.localities[from].dim.owned_region(item);
-        let hops1 = w.index.update_leaf(item, from, new_src_owned);
+        let hops1 = index_update(w, item, from, new_src_owned);
         w.localities[to].dim.import_owned(item, &bytes);
         let new_dst_owned = w.localities[to].dim.owned_region(item);
-        let hops2 = w.index.update_leaf(item, to, new_dst_owned);
+        let hops2 = index_update(w, item, to, new_dst_owned);
         let t = send(w, self.now, from, to, bytes.len());
         bill_hops(w, t, &hops1);
         bill_hops(w, t, &hops2);
         w.monitor.per_locality[to].migrations_in += 1;
-        w.monitor.index_update_hops += (hops1.len() + hops2.len()) as u64;
     }
 
     /// Snapshot the owned data of every item on every locality — the
@@ -326,9 +320,11 @@ impl RtCtx<'_> {
         for (loc, data) in self.world.localities.iter_mut().zip(&snap.per_locality) {
             loc.dim.restore(data);
         }
-        // Re-advertise ownership in the index.
+        // Re-advertise ownership in the index. Restore is out-of-band
+        // (not billed), but cached resolutions still become stale.
         let items: Vec<ItemId> = self.world.item_descs.keys().copied().collect();
         for item in items {
+            self.world.loc_cache.bump(item);
             for p in 0..self.world.localities.len() {
                 let owned = self.world.localities[p].dim.owned_region(item);
                 self.world.index.update_leaf(item, p, owned);
@@ -474,6 +470,7 @@ impl Runtime {
             localities,
             monitor: Monitor::new(nodes),
             index,
+            loc_cache: LocationCache::new(),
             item_descs: BTreeMap::new(),
             inflight: BTreeMap::new(),
             parents: BTreeMap::new(),
@@ -502,6 +499,7 @@ impl Runtime {
             advance_phase(sim, None);
         });
         self.sim.run();
+        self.sim.world.monitor.cache = self.sim.world.loc_cache.stats();
         let w = &self.sim.world;
         assert!(
             w.inflight.is_empty() && w.parents.is_empty(),
@@ -547,6 +545,38 @@ fn bill_hops(w: &mut RtWorld, mut now: SimTime, hops: &[Hop]) -> SimTime {
         now = end;
     }
     now
+}
+
+/// Resolve `region` of `item` from locality `at`, going through the
+/// location cache when the hierarchical index is active: hits cost no
+/// control messages, misses pay Algorithm 1's traversal hops. The lookup
+/// (and its hops) is counted in the monitor either way; billing the hops
+/// on the network stays with the caller.
+fn index_resolve(
+    w: &mut RtWorld,
+    item: ItemId,
+    at: usize,
+    region: &dyn DynRegion,
+) -> (Resolution, Vec<Hop>) {
+    let (pieces, hops) = match &w.index {
+        IndexImpl::Dist(idx) => w.loc_cache.resolve(idx, item, at, region),
+        IndexImpl::Central(idx) => idx.resolve(item, at, region),
+    };
+    w.monitor.index_lookups += 1;
+    w.monitor.index_lookup_hops += hops.len() as u64;
+    (pieces, hops)
+}
+
+/// Update locality `p`'s advertised region of `item` in the index,
+/// invalidating the item's cached resolutions (epoch bump) *before* the
+/// update becomes visible — the cache must never serve a pre-update owner.
+/// Counts the propagation hops in the monitor; billing stays with the
+/// caller.
+fn index_update(w: &mut RtWorld, item: ItemId, p: usize, region: Box<dyn DynRegion>) -> Vec<Hop> {
+    w.loc_cache.bump(item);
+    let hops = w.index.update_leaf(item, p, region);
+    w.monitor.index_update_hops += hops.len() as u64;
+    hops
 }
 
 fn policy_env(w: &RtWorld) -> (usize, usize, Vec<usize>) {
@@ -701,9 +731,7 @@ fn common_owner<'r>(
     let now = sim.now();
     for req in iter {
         any = true;
-        let (pieces, hops) = sim.world.index.resolve(req.item, at, req.region.as_ref());
-        sim.world.monitor.index_lookups += 1;
-        sim.world.monitor.index_lookup_hops += hops.len() as u64;
+        let (pieces, hops) = index_resolve(&mut sim.world, req.item, at, req.region.as_ref());
         bill_hops(&mut sim.world, now, &hops);
         // Coverage check: pieces must tile the region with one owner.
         let mut covered: Option<Box<dyn DynRegion>> = None;
@@ -810,8 +838,7 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
             Move::FirstTouch { item, region } => {
                 sim.world.localities[loc].dim.init_owned(item, region.as_ref());
                 let owned = sim.world.localities[loc].dim.owned_region(item);
-                let hops = sim.world.index.update_leaf(item, loc, owned);
-                sim.world.monitor.index_update_hops += hops.len() as u64;
+                let hops = index_update(&mut sim.world, item, loc, owned);
                 bill_hops(&mut sim.world, now, &hops);
                 sim.world.monitor.per_locality[loc].first_touch += 1;
             }
@@ -820,8 +847,7 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                     .dim
                     .export_migration(item, region.as_ref());
                 let src_owned = sim.world.localities[src].dim.owned_region(item);
-                let hops = sim.world.index.update_leaf(item, src, src_owned);
-                sim.world.monitor.index_update_hops += hops.len() as u64;
+                let hops = index_update(&mut sim.world, item, src, src_owned);
                 bill_hops(&mut sim.world, now, &hops);
                 // Request hop, then the data transfer.
                 let ctrl = sim.world.cost.control_msg_bytes;
@@ -832,8 +858,7 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                     let loc2 = sim.world.inflight[&tid].loc;
                     sim.world.localities[loc2].dim.import_owned(item, &bytes);
                     let owned = sim.world.localities[loc2].dim.owned_region(item);
-                    let hops = sim.world.index.update_leaf(item, loc2, owned);
-                    sim.world.monitor.index_update_hops += hops.len() as u64;
+                    let hops = index_update(&mut sim.world, item, loc2, owned);
                     let t = sim.now();
                     bill_hops(&mut sim.world, t, &hops);
                     sim.world.monitor.per_locality[loc2].migrations_in += 1;
@@ -908,9 +933,7 @@ fn plan_transfers(w: &mut RtWorld, tid: TaskId, loc: usize) -> Result<Vec<Move>,
                 if missing.is_empty_dyn() {
                     continue;
                 }
-                let (pieces, hops) = w.index.resolve(item, loc, missing.as_ref());
-                w.monitor.index_lookups += 1;
-                w.monitor.index_lookup_hops += hops.len() as u64;
+                let (pieces, _hops) = index_resolve(w, item, loc, missing.as_ref());
                 let mut found: Option<Box<dyn DynRegion>> = None;
                 for (piece, src) in pieces {
                     if src == loc {
@@ -955,9 +978,7 @@ fn plan_transfers(w: &mut RtWorld, tid: TaskId, loc: usize) -> Result<Vec<Move>,
                 if missing.is_empty_dyn() {
                     continue;
                 }
-                let (pieces, hops) = w.index.resolve(item, loc, missing.as_ref());
-                w.monitor.index_lookups += 1;
-                w.monitor.index_lookup_hops += hops.len() as u64;
+                let (pieces, _hops) = index_resolve(w, item, loc, missing.as_ref());
                 let mut found: Option<Box<dyn DynRegion>> = None;
                 for (piece, src) in pieces {
                     if src == loc {

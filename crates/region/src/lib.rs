@@ -21,6 +21,7 @@
 
 mod bitmask;
 mod boxes;
+mod fingerprint;
 mod fragment;
 mod grid_fragment;
 mod interval;
@@ -34,6 +35,7 @@ mod treepath;
 
 pub use bitmask::BitmaskTreeRegion;
 pub use boxes::BoxRegion;
+pub use fingerprint::{fnv1a_64, Fnv64};
 pub use fragment::{Fragment, ItemType};
 pub use grid_fragment::GridFragment;
 pub use interval::IntervalRegion;

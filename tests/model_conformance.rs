@@ -19,7 +19,28 @@ use allscale_core::{
     pfor, Grid, PforSpec, Requirement, RtConfig, RtCtx, Runtime, TaskValue, WorkItem,
 };
 use allscale_model as model;
-use allscale_region::{BoxRegion, GridBox, Point};
+use allscale_region::{BoxRegion, GridBox, GridFragment, Point, Region};
+
+/// Deterministic xorshift64 PRNG for the randomized programs below — no
+/// external dependency, identical sequences on every platform.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
 // ------------------------------------------------- runtime-side conformance
 
@@ -272,5 +293,216 @@ fn deep_task_trees_satisfy_all_properties() {
         assert_eq!(outcome, model::Outcome::Terminated, "seed {seed}");
         model::properties::check_all(&program, &trace)
             .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+    }
+}
+
+/// Generate a random multi-phase program shaped like the applications:
+/// the entry task creates one or two items, then per phase spawns writers
+/// over a random disjoint partition of one item, syncs them, spawns
+/// readers over random element subsets, syncs those — and sometimes
+/// destroys an item at the end. Fork-join structure guarantees
+/// termination; partitions make writes conflict-free by construction, so
+/// every Section 2.5 property must hold on every schedule.
+fn random_phased_program(rng: &mut XorShift) -> model::Program {
+    use model::{Action, ItemId, ProgramBuilder, TaskId, VariantSpec};
+    let mut b = ProgramBuilder::new();
+    let n_items = 1 + rng.below(2) as u32;
+    let elems = 8 + 4 * rng.below(3) as u32; // 8, 12, or 16 elements
+    for d in 0..n_items {
+        b.item(ItemId(d), elems);
+    }
+    let mut next_task = 1u32;
+    let mut actions: Vec<Action> = (0..n_items).map(|d| Action::Create(ItemId(d))).collect();
+    for _phase in 0..1 + rng.below(3) {
+        let item = ItemId(rng.below(n_items as u64) as u32);
+        // Writers over a random disjoint partition of the item.
+        let k = 2 + rng.below(4); // 2..=5 writers
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        for e in 0..elems {
+            parts[rng.below(k) as usize].push(e);
+        }
+        let mut wave = Vec::new();
+        for part in parts.into_iter().filter(|p| !p.is_empty()) {
+            let t = TaskId(next_task);
+            next_task += 1;
+            b.variant(
+                t,
+                VariantSpec {
+                    writes: model::program::req(&[(item, &part)]),
+                    ..Default::default()
+                },
+            );
+            wave.push(t);
+        }
+        actions.extend(wave.iter().map(|&t| Action::Spawn(t)));
+        actions.extend(wave.iter().map(|&t| Action::Sync(t)));
+        // Readers over random, freely overlapping subsets.
+        let mut wave = Vec::new();
+        for _ in 0..1 + rng.below(3) {
+            let mut subset: Vec<u32> = (0..elems).filter(|_| rng.below(2) == 0).collect();
+            if subset.is_empty() {
+                subset.push(rng.below(elems as u64) as u32);
+            }
+            let t = TaskId(next_task);
+            next_task += 1;
+            b.variant(
+                t,
+                VariantSpec {
+                    reads: model::program::req(&[(item, &subset)]),
+                    ..Default::default()
+                },
+            );
+            wave.push(t);
+        }
+        actions.extend(wave.iter().map(|&t| Action::Spawn(t)));
+        actions.extend(wave.iter().map(|&t| Action::Sync(t)));
+    }
+    if rng.below(2) == 0 {
+        actions.push(Action::Destroy(ItemId(0)));
+    }
+    b.variant(
+        TaskId(0),
+        VariantSpec {
+            actions,
+            ..Default::default()
+        },
+    );
+    b.build(TaskId(0))
+}
+
+/// Randomized multi-phase programs under randomized schedules — including
+/// schedules with elevated chaos (spontaneous migrations/replications) —
+/// satisfy all five model properties of Section 2.5.
+#[test]
+fn randomized_phased_programs_satisfy_all_properties() {
+    let archs = [
+        model::Architecture::cluster(2, 2),
+        model::Architecture::cluster(4, 2),
+        model::Architecture::cluster(3, 1),
+        model::Architecture::shared(4),
+    ];
+    for seed in 0..12u64 {
+        let mut rng = XorShift::new(seed);
+        let program = random_phased_program(&mut rng);
+        let arch = archs[(seed % archs.len() as u64) as usize].clone();
+        let mut driver = model::Driver::new(seed ^ 0xdead_beef);
+        // Elevated chaos: more spontaneous data movement, stressing
+        // exclusive writes and data preservation under migration.
+        driver.chaos_percent = 60;
+        let (trace, outcome) = driver.run(&program, arch);
+        assert_eq!(outcome, model::Outcome::Terminated, "seed {seed}");
+        model::properties::check_all(&program, &trace)
+            .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+        assert!(trace.terminated(), "seed {seed}");
+    }
+}
+
+// ------------------------------------------- randomized runtime migrations
+
+/// Randomized multi-phase runtime runs with random region migrations
+/// between phases: the model invariants hold at every boundary, the data
+/// is preserved exactly (total element count and every value), and a final
+/// read-back phase observes the values written before the migrations.
+#[test]
+fn randomized_migrations_preserve_data_and_invariants() {
+    const N: i64 = 128;
+    const MIGRATION_PHASES: usize = 3;
+    for seed in 0..4u64 {
+        let grid: Rc<RefCell<Option<Grid<f64, 1>>>> = Rc::new(RefCell::new(None));
+        let gc = grid.clone();
+        let nodes = 4usize;
+        let runtime = Runtime::new(RtConfig::test(nodes, 2));
+        runtime.run(
+            move |phase: usize,
+                  ctx: &mut RtCtx<'_>,
+                  _prev: TaskValue|
+                  -> Option<Box<dyn WorkItem>> {
+                let violations = ctx.verify_consistency();
+                assert!(
+                    violations.is_empty(),
+                    "seed {seed}, phase {phase}: {violations:?}"
+                );
+                if phase == 0 {
+                    let g = Grid::<f64, 1>::create(ctx, "v", [N]);
+                    *gc.borrow_mut() = Some(g);
+                    return Some(pfor(
+                        PforSpec {
+                            name: "fill",
+                            range: g.full_box(),
+                            grain: 16,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 8,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g.set(tctx, p.0, p[0] as f64),
+                    ));
+                }
+                let g = gc.borrow().unwrap();
+                // Data preservation: fragments always tile the grid exactly.
+                let total: usize = (0..ctx.nodes())
+                    .map(|l| ctx.fragment_at::<GridFragment<f64, 1>>(l, g.id).len())
+                    .sum();
+                assert_eq!(total, N as usize, "seed {seed}, phase {phase}");
+                if phase <= MIGRATION_PHASES {
+                    // Random migration of a random slice of a random donor.
+                    let mut rng = XorShift::new(seed * 97 + phase as u64);
+                    let src = rng.below(nodes as u64) as usize;
+                    let dst = rng.below(nodes as u64) as usize;
+                    if src != dst {
+                        let lo = rng.below(N as u64) as i64;
+                        let len = 1 + rng.below(64) as i64;
+                        let slice = BoxRegion::<1>::cuboid([lo], [(lo + len).min(N)]);
+                        let owned = ctx.owned_region_at(src, g.id);
+                        let owned = owned
+                            .as_any()
+                            .downcast_ref::<BoxRegion<1>>()
+                            .expect("1-D grid region")
+                            .clone();
+                        let moved = owned.intersect(&slice);
+                        if !moved.is_empty() {
+                            ctx.migrate_region(g.id, &moved, src, dst);
+                            let violations = ctx.verify_consistency();
+                            assert!(
+                                violations.is_empty(),
+                                "seed {seed}, phase {phase}, after migrating \
+                                 {moved:?} from {src} to {dst}: {violations:?}"
+                            );
+                        }
+                    }
+                    // A no-write phase keeps virtual time moving between
+                    // migrations without touching the values.
+                    return Some(pfor(
+                        PforSpec {
+                            name: "observe",
+                            range: g.full_box(),
+                            grain: 32,
+                            ns_per_point: 1.0,
+                            axis0_pieces: 4,
+                        },
+                        move |tile| vec![Requirement::read(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| {
+                            let _ = g.get(tctx, p.0);
+                        },
+                    ));
+                }
+                if phase == MIGRATION_PHASES + 1 {
+                    // Every value written before the migrations survived them.
+                    return Some(pfor(
+                        PforSpec {
+                            name: "verify",
+                            range: g.full_box(),
+                            grain: 16,
+                            ns_per_point: 1.0,
+                            axis0_pieces: 8,
+                        },
+                        move |tile| vec![Requirement::read(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| {
+                            assert_eq!(g.get(tctx, p.0), p[0] as f64, "value lost at {p:?}");
+                        },
+                    ));
+                }
+                None
+            },
+        );
     }
 }
