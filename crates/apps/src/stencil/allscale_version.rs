@@ -7,7 +7,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use allscale_core::{
-    pfor, CostModel, Grid, PforSpec, Requirement, RtConfig, RtCtx, Runtime, TaskValue, WorkItem,
+    pfor, CostModel, Grid, PforSpec, Requirement, RtConfig, RtCtx, RunReport, Runtime, TaskValue,
+    WorkItem,
 };
 use allscale_des::SimTime;
 use allscale_region::{BoxRegion, GridBox, GridFragment, Point};
@@ -32,6 +33,14 @@ pub fn run(cfg: &StencilConfig) -> StencilResult {
 
 /// Run with a custom runtime configuration (policy/index ablations).
 pub fn run_with(cfg: &StencilConfig, rt_cfg: RtConfig) -> StencilResult {
+    run_with_report(cfg, rt_cfg).0
+}
+
+/// Like [`run_with`], but also hands back the full [`RunReport`] — used
+/// by the fault-recovery example and tests to inspect the resilience
+/// counters (checkpoints, detections, recoveries, retries) alongside the
+/// application-level result.
+pub fn run_with_report(cfg: &StencilConfig, rt_cfg: RtConfig) -> (StencilResult, RunReport) {
     let cfg = cfg.clone();
     let cfg_out = cfg.clone();
     let rows = cfg.total_rows();
@@ -147,14 +156,15 @@ pub fn run_with(cfg: &StencilConfig, rt_cfg: RtConfig) -> StencilResult {
     } else {
         true
     };
-    StencilResult {
+    let result = StencilResult {
         compute_seconds,
         gflops: cfg_out.total_flops() / compute_seconds / 1e9,
         checksum: s.checksum,
         validated,
         remote_msgs: report.remote_msgs,
         remote_bytes: report.remote_bytes,
-    }
+    };
+    (result, report)
 }
 
 /// Tile grain: aim for ~2 tiles per core so the split tree bottoms out at

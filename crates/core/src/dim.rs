@@ -320,6 +320,27 @@ impl DataItemManager {
             .any(|(_, r)| !r.intersect_dyn(region).is_empty_dyn())
     }
 
+    /// The persistent-replica coverage of `item` held here (broadcast
+    /// read-mostly data imported via [`DataItemManager::import_persistent`]).
+    pub fn persistent_region(&self, item: ItemId) -> Box<dyn DynRegion> {
+        self.slot(item).persistent.clone_box()
+    }
+
+    /// The union of *persistent* export records of `item` — regions of our
+    /// owned data replicated elsewhere for the rest of the run (sentinel
+    /// task id), which must stay write-fenced and owned here as long as
+    /// those replicas exist. Input to the fenced-writes consistency check.
+    pub fn persistent_export_region(&self, item: ItemId) -> Box<dyn DynRegion> {
+        let slot = self.slot(item);
+        let mut acc = (slot.desc.empty_region)();
+        for (_, task, region) in &slot.exports {
+            if *task == TaskId(u64::MAX) {
+                acc = acc.union_dyn(region.as_ref());
+            }
+        }
+        acc
+    }
+
     /// Whether an outstanding export intersects `region`.
     pub fn exported(&self, item: ItemId, region: &dyn DynRegion) -> bool {
         let slot = self.slot(item);
@@ -391,6 +412,11 @@ impl DataItemManager {
 
     /// Restore owned data from a checkpoint produced by
     /// [`DataItemManager::checkpoint`]. Items must be registered already.
+    ///
+    /// The fragment is replaced wholesale by the snapshot's owned data, so
+    /// every piece of transient state layered on top — locks, exports,
+    /// replica holds, persistent-replica coverage — is reset: the bytes
+    /// backing those claims are gone.
     pub fn restore(&mut self, snapshot: &[(ItemId, Vec<u8>)]) {
         for (id, bytes) in snapshot {
             let slot = self.slot_mut(*id);
@@ -401,6 +427,22 @@ impl DataItemManager {
             slot.rlocks.clear();
             slot.wlocks.clear();
             slot.exports.clear();
+            slot.holds.clear();
+            slot.persistent = (slot.desc.empty_region)();
+        }
+    }
+
+    /// Drop all data and transient state of every item, keeping the
+    /// registrations — the state of a replacement process joining after a
+    /// fail-stop crash: it knows the item types, but holds nothing.
+    pub fn wipe_all(&mut self) {
+        let descs: Vec<(ItemId, ItemDescriptor)> = self
+            .items
+            .iter()
+            .map(|(&id, slot)| (id, slot.desc.clone()))
+            .collect();
+        for (id, desc) in descs {
+            self.register(id, desc);
         }
     }
 
@@ -625,6 +667,37 @@ mod tests {
             .unwrap();
         assert_eq!(frag.get(&Point([2, 2])), Some(&11.0));
         assert!(dim.owned_region(ItemId(0)).eq_dyn(&r2([0, 0], [3, 3])));
+    }
+
+    #[test]
+    fn restore_resets_replica_and_persistent_state() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [2, 2]));
+        let snap = dim.checkpoint();
+        // Layer transient state on top: a persistent import and an export.
+        let bytes = dim.export_replica(ItemId(0), &r2([0, 0], [1, 1]), 1, TaskId(u64::MAX));
+        dim.import_persistent(ItemId(0), &bytes);
+        assert!(!dim.persistent_region(ItemId(0)).is_empty_dyn());
+        assert!(!dim.persistent_export_region(ItemId(0)).is_empty_dyn());
+        dim.restore(&snap);
+        assert!(dim.persistent_region(ItemId(0)).is_empty_dyn());
+        assert!(dim.persistent_export_region(ItemId(0)).is_empty_dyn());
+        assert!(dim.owned_region(ItemId(0)).eq_dyn(&r2([0, 0], [2, 2])));
+    }
+
+    #[test]
+    fn wipe_all_keeps_registrations_drops_data() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        dim.try_lock(TaskId(1), &[Requirement::write(ItemId(0), r2([0, 0], [2, 2]))])
+            .unwrap();
+        dim.wipe_all();
+        assert!(dim.knows(ItemId(0)));
+        assert!(dim.owned_region(ItemId(0)).is_empty_dyn());
+        assert!(!dim.has_locks(ItemId(0)));
+        // The wiped item is still usable.
+        dim.init_owned(ItemId(0), &r2([1, 1], [3, 3]));
+        assert!(dim.covers(ItemId(0), &r2([1, 1], [3, 3])));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   requirement functions — the artifact the AllScale compiler generates;
 //! - [`Grid`] and [`pfor`]: the user-facing API of the paper's Fig. 6b;
 //! - [`Monitor`] / checkpointing in [`RtCtx`]: the monitoring and
-//!   resilience services the model enables.
+//!   resilience services the model enables;
+//! - [`resilience`]: the active resilience manager — checkpoint cadence,
+//!   heartbeat failure detection, and automatic recovery from fail-stop
+//!   locality deaths injected via [`FaultPlan`].
 //!
 //! ## Example: a complete two-phase program
 //!
@@ -66,6 +69,7 @@ pub mod loc_cache;
 pub mod monitor;
 pub mod policy;
 pub mod rebalance;
+pub mod resilience;
 pub mod runtime;
 pub mod task;
 
@@ -83,7 +87,12 @@ pub use policy::{
     DataAwarePolicy, PolicyEnv, RandomPolicy, RoundRobinPolicy, SchedulingPolicy, Variant,
 };
 pub use rebalance::{plan_rebalance, split_off_cells, MoveSuggestion};
+pub use resilience::{ResilienceConfig, ResilienceStats};
 pub use runtime::{AppDriver, Checkpoint, Locality, RtConfig, RtCtx, Runtime};
+
+// Fault-injection types, re-exported so applications configuring
+// `RtConfig::faults` need not depend on `allscale-net` directly.
+pub use allscale_net::{FaultPlan, RetryPolicy, TransferFault};
 pub use task::{
     AccessMode, Done, ItemId, Prec, PrecOps, Requirement, SplitOutcome, TaskCtx, TaskId,
     TaskValue, WorkItem,

@@ -6,6 +6,7 @@
 use allscale_des::{SimTime, Tally};
 
 use crate::loc_cache::CacheStats;
+use crate::resilience::ResilienceStats;
 
 /// Counters of one locality.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +46,10 @@ pub struct Monitor {
     /// control-message hops the hits avoided). All zeros when the run used
     /// the central-directory index, which bypasses the cache.
     pub cache: CacheStats,
+    /// Resilience-manager counters (checkpoints, detections, recoveries,
+    /// re-executed tasks, network retries). All zeros when the run had no
+    /// fault injection and no resilience manager.
+    pub resilience: ResilienceStats,
     /// Distribution of task compute durations (ns).
     pub task_durations: Tally,
 }
@@ -155,6 +160,23 @@ impl RunReport {
             c.invalidations,
             c.saved_hops,
         );
+        let r = &self.monitor.resilience;
+        if r.checkpoints > 0 || r.detections > 0 || r.net_dropped > 0 || r.failed_transfers > 0 {
+            let _ = writeln!(
+                out,
+                "resilience: {} checkpoints ({} bytes), {} recoveries ({} restored bytes), {} tasks re-executed, detection latency {} ns, {} heartbeats | net: {} dropped, {} retries, {} failed transfers",
+                r.checkpoints,
+                r.checkpoint_bytes,
+                r.recoveries,
+                r.restored_bytes,
+                r.tasks_reexecuted,
+                r.detection_latency_ns,
+                r.heartbeats,
+                r.net_dropped,
+                r.net_retries,
+                r.failed_transfers,
+            );
+        }
         for (i, l) in self.monitor.per_locality.iter().enumerate() {
             let _ = writeln!(
                 out,

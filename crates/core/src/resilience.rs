@@ -1,0 +1,211 @@
+//! The resilience manager (paper Section 3.2).
+//!
+//! "The *resilience manager* is a service enabled by the application
+//! model": the data-preservation and single-execution properties of the
+//! formal model (Section 2.5) guarantee that a phase either completed
+//! before a checkpoint or can be re-run from it without double-applying
+//! effects. This module holds the *policy* state of that service:
+//!
+//! - a **checkpoint cadence** — every `checkpoint_every` phase
+//!   boundaries, the runtime snapshots the owned data of every item on
+//!   every locality (the passive primitive already exposed through
+//!   [`crate::RtCtx::checkpoint`]);
+//! - a **heartbeat failure detector** — locality 0 pings every other
+//!   locality each `heartbeat_period` on the simulated clock; a locality
+//!   missing `suspicion_threshold` consecutive heartbeats is declared
+//!   dead (fail-stop);
+//! - the **retry policy** the runtime applies to its own messages on a
+//!   faulty fabric (bounded attempts, exponential backoff — see
+//!   [`allscale_net::RetryPolicy`]).
+//!
+//! The *mechanism* — taking the snapshots, driving the heartbeats off
+//! the DES clock, and the `recover(dead)` orchestration that restores
+//! shards onto survivors, re-advertises ownership in the index, bumps
+//! location-cache epochs, and replays the in-flight phase — lives in
+//! [`crate::runtime`], which owns the world the manager acts on.
+//!
+//! Known simplifications (documented in DESIGN.md §5.5b): locality 0
+//! hosts the detector and is assumed immortal, checkpoints move data
+//! out-of-band (counted, not billed on the network), and a checkpoint is
+//! only taken at boundaries whose phase value is `None` (task values are
+//! not serializable, so a phase fed by a previous phase's value cannot
+//! be replayed faithfully).
+
+use allscale_des::SimDuration;
+use allscale_net::RetryPolicy;
+
+use crate::runtime::Checkpoint;
+
+/// Configuration of the resilience manager.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Take a checkpoint every this many phase boundaries (≥ 1).
+    pub checkpoint_every: usize,
+    /// Period of the failure detector's heartbeat round.
+    pub heartbeat_period: SimDuration,
+    /// Consecutive missed heartbeats before a locality is declared dead.
+    pub suspicion_threshold: u32,
+    /// Retry policy applied to runtime messages on the faulty fabric.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint_every: 2,
+            heartbeat_period: SimDuration::from_micros(50),
+            suspicion_threshold: 3,
+            retry: RetryPolicy {
+                // A little more persistent than the network default: a
+                // lost runtime message strands a task until recovery.
+                max_attempts: 6,
+                ..RetryPolicy::default()
+            },
+        }
+    }
+}
+
+/// Recovery metrics, aggregated into [`crate::Monitor`].
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceStats {
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Total serialized bytes across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Heartbeat probes sent by the failure detector.
+    pub heartbeats: u64,
+    /// Localities declared dead by the detector.
+    pub detections: u64,
+    /// Simulated nanoseconds between each death and its detection.
+    pub detection_latency_ns: u64,
+    /// Recovery orchestrations performed.
+    pub recoveries: u64,
+    /// Bytes of dead localities' shards restored onto survivors.
+    pub restored_bytes: u64,
+    /// Process-task executions discarded and re-run due to recoveries.
+    pub tasks_reexecuted: u64,
+    /// Runtime messages lost even after retrying (dead endpoint or
+    /// exhausted attempts); each strands work until recovery reaps it.
+    pub failed_transfers: u64,
+    /// Network-level retransmissions (mirrors `TrafficStats::retries`).
+    pub net_retries: u64,
+    /// Network-level message drops (mirrors `TrafficStats::dropped`).
+    pub net_dropped: u64,
+}
+
+/// A checkpoint tagged with the phase boundary it was taken at.
+///
+/// `phase` is the value of the runtime's phase counter at the boundary:
+/// recovery rewinds the counter to it and re-requests that phase's root
+/// work item from the driver.
+#[derive(Clone)]
+pub(crate) struct SavedCheckpoint {
+    /// Phase counter value at the boundary (the phase about to start).
+    pub phase: usize,
+    /// Owned data of every item on every locality.
+    pub snap: Checkpoint,
+}
+
+/// Live state of the resilience manager, owned by the runtime world.
+pub(crate) struct ResilienceManager {
+    /// The configured policy.
+    pub cfg: ResilienceConfig,
+    /// Most recent checkpoint, if any was taken yet.
+    pub last: Option<SavedCheckpoint>,
+    /// Consecutive missed heartbeats per locality.
+    pub misses: Vec<u32>,
+    /// `Monitor::total_tasks()` at the instant of the last checkpoint —
+    /// the baseline for counting re-executed tasks after a recovery.
+    pub tasks_at_checkpoint: u64,
+}
+
+impl ResilienceManager {
+    /// A manager over `nodes` localities.
+    pub fn new(cfg: ResilienceConfig, nodes: usize) -> Self {
+        ResilienceManager {
+            cfg,
+            last: None,
+            misses: vec![0; nodes],
+            tasks_at_checkpoint: 0,
+        }
+    }
+
+    /// Whether a checkpoint is due at the boundary entering `phase`.
+    ///
+    /// Phase 0 is skipped (nothing to save: recovery before the first
+    /// checkpoint restarts the application from scratch), as is a
+    /// boundary already checkpointed — replay re-enters the boundary it
+    /// was restored to, which must not re-snapshot.
+    pub fn due(&self, phase: usize) -> bool {
+        phase > 0
+            && phase % self.cfg.checkpoint_every.max(1) == 0
+            && !matches!(&self.last, Some(s) if s.phase == phase)
+    }
+
+    /// Record a checkpoint taken at the boundary entering `phase`.
+    pub fn save(&mut self, phase: usize, snap: Checkpoint, tasks_done: u64) {
+        self.last = Some(SavedCheckpoint { phase, snap });
+        self.tasks_at_checkpoint = tasks_done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ResilienceConfig::default();
+        assert!(cfg.checkpoint_every >= 1);
+        assert!(cfg.suspicion_threshold >= 1);
+        assert!(cfg.heartbeat_period > SimDuration::ZERO);
+        assert!(cfg.retry.max_attempts >= 1);
+    }
+
+    #[test]
+    fn cadence_skips_phase_zero_and_off_beats() {
+        let mgr = ResilienceManager::new(
+            ResilienceConfig {
+                checkpoint_every: 2,
+                ..ResilienceConfig::default()
+            },
+            4,
+        );
+        assert!(!mgr.due(0));
+        assert!(!mgr.due(1));
+        assert!(mgr.due(2));
+        assert!(!mgr.due(3));
+        assert!(mgr.due(4));
+    }
+
+    #[test]
+    fn replayed_boundary_is_not_recheckpointed() {
+        let mut mgr = ResilienceManager::new(ResilienceConfig::default(), 2);
+        assert!(mgr.due(2));
+        mgr.save(
+            2,
+            Checkpoint {
+                per_locality: vec![Vec::new(), Vec::new()],
+            },
+            7,
+        );
+        assert!(!mgr.due(2), "restored boundary must not re-snapshot");
+        assert!(mgr.due(4), "later boundaries still checkpoint");
+        assert_eq!(mgr.tasks_at_checkpoint, 7);
+    }
+
+    #[test]
+    fn cadence_of_one_checkpoints_every_boundary() {
+        let mgr = ResilienceManager::new(
+            ResilienceConfig {
+                checkpoint_every: 1,
+                ..ResilienceConfig::default()
+            },
+            2,
+        );
+        assert!(!mgr.due(0));
+        assert!(mgr.due(1));
+        assert!(mgr.due(2));
+        assert!(mgr.due(3));
+    }
+}

@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 
 use allscale_des::{CorePool, Sim, SimDuration, SimTime};
-use allscale_net::{AnyTopology, ClusterSpec, Network};
+use allscale_net::{AnyTopology, ClusterSpec, FaultPlan, Network, RetryPolicy};
 use allscale_region::ItemType;
 
 use crate::cost::CostModel;
@@ -39,6 +39,7 @@ use crate::index::{CentralIndex, DistIndex, Hop, Resolution};
 use crate::loc_cache::LocationCache;
 use crate::monitor::{Monitor, RunReport};
 use crate::policy::{DataAwarePolicy, PolicyEnv, SchedulingPolicy, Variant};
+use crate::resilience::{ResilienceConfig, ResilienceManager, SavedCheckpoint};
 use crate::task::{
     AccessMode, Done, ItemId, Requirement, SplitOutcome, TaskCtx, TaskId, TaskValue, WorkItem,
 };
@@ -114,6 +115,14 @@ pub struct RtConfig {
     /// Use the central-directory index instead of the hierarchical one
     /// (ablation A1).
     pub central_index: bool,
+    /// Fault plan installed into the network (`None` = reliable fabric).
+    pub faults: Option<FaultPlan>,
+    /// Enable the resilience manager: periodic checkpoints, the heartbeat
+    /// failure detector, and automatic recovery. `None` (the default)
+    /// keeps the runtime fault-oblivious; combined with an injected
+    /// locality death, such a run deadlocks — enable this whenever the
+    /// fault plan kills nodes.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl RtConfig {
@@ -124,6 +133,8 @@ impl RtConfig {
             cost: CostModel::default(),
             policy: Box::new(DataAwarePolicy::default()),
             central_index: false,
+            faults: None,
+            resilience: None,
         }
     }
 
@@ -134,6 +145,8 @@ impl RtConfig {
             cost: CostModel::default(),
             policy: Box::new(DataAwarePolicy::default()),
             central_index: false,
+            faults: None,
+            resilience: None,
         }
     }
 }
@@ -167,6 +180,16 @@ pub struct RtWorld {
     phase: usize,
     finish_time: SimTime,
     done: bool,
+    /// Resilience-manager state (`None` when the service is disabled).
+    resilience: Option<ResilienceManager>,
+    /// Localities declared dead by the failure detector.
+    dead: Vec<bool>,
+    /// Bumped on every recovery; events scheduled through
+    /// [`schedule_task_event`] in an older epoch become no-ops, which is
+    /// how the in-flight phase's stale work is discarded wholesale.
+    run_epoch: u64,
+    /// Retry policy for runtime messages (default when no resilience).
+    retry_policy: RetryPolicy,
 }
 
 type RtSim = Sim<RtWorld>;
@@ -277,7 +300,13 @@ impl RtCtx<'_> {
             if dst == owner {
                 continue;
             }
-            t = send(self.world, t, owner, dst, bytes.len());
+            // A locality the broadcast cannot reach simply misses out on
+            // the replica (it re-fetches on demand if it ever revives —
+            // under fail-stop it never does).
+            match send(self.world, t, owner, dst, bytes.len()) {
+                Some(arrival) => t = arrival,
+                None => continue,
+            }
             self.world.localities[dst].dim.import_persistent(item, &bytes);
             self.world.monitor.per_locality[dst].replicas_in += 1;
         }
@@ -296,7 +325,10 @@ impl RtCtx<'_> {
         w.localities[to].dim.import_owned(item, &bytes);
         let new_dst_owned = w.localities[to].dim.owned_region(item);
         let hops2 = index_update(w, item, to, new_dst_owned);
-        let t = send(w, self.now, from, to, bytes.len());
+        // Driver-initiated migration is synchronous bookkeeping; a lost
+        // transfer only truncates the billing (recovery restores any
+        // halfway state from the checkpoint).
+        let t = send(w, self.now, from, to, bytes.len()).unwrap_or(self.now);
         bill_hops(w, t, &hops1);
         bill_hops(w, t, &hops2);
         w.monitor.per_locality[to].migrations_in += 1;
@@ -316,7 +348,18 @@ impl RtCtx<'_> {
     }
 
     /// Restore a checkpoint taken earlier in this run.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's locality count differs from the runtime's
+    /// — restoring such a snapshot would silently drop (or skip) shards.
     pub fn restore(&mut self, snap: &Checkpoint) {
+        assert_eq!(
+            snap.per_locality.len(),
+            self.world.localities.len(),
+            "checkpoint shape mismatch: snapshot has {} locality shards, runtime has {} localities",
+            snap.per_locality.len(),
+            self.world.localities.len(),
+        );
         for (loc, data) in self.world.localities.iter_mut().zip(&snap.per_locality) {
             loc.dim.restore(data);
         }
@@ -342,7 +385,14 @@ impl RtCtx<'_> {
     /// 2. **index consistency** — each locality's advertised index leaf
     ///    region equals its data item manager's owned region;
     /// 3. **quiescent locks** — no `Lr`/`Lw` entries survive a phase
-    ///    boundary (every (start) was matched by an (end)).
+    ///    boundary (every (start) was matched by an (end));
+    /// 4. **fenced writes** — persistent replicas stay backed: every
+    ///    persistent export record still lies inside its recorder's owned
+    ///    region (the broadcast source was not migrated or written away),
+    ///    and every persistent replica is covered by the union of such
+    ///    fences. A recovery that restores data without resetting replica
+    ///    bookkeeping — or a driver migrating a broadcast region — trips
+    ///    this check.
     ///
     /// Returns a list of violations (empty = consistent). Used by the
     /// cross-crate model-conformance tests.
@@ -382,6 +432,35 @@ impl RtCtx<'_> {
                     violations.push(format!(
                         "item {item:?}: locality {p} still holds locks at a phase boundary"
                     ));
+                }
+            }
+            // 4. Fenced writes: persistent replicas stay backed by their
+            //    exporter's owned data.
+            let mut fences: Option<Box<dyn DynRegion>> = None;
+            for (p, loc) in self.world.localities.iter().enumerate() {
+                let fence = loc.dim.persistent_export_region(item);
+                let stray = fence.difference_dyn(loc.dim.owned_region(item).as_ref());
+                if !stray.is_empty_dyn() {
+                    violations.push(format!(
+                        "item {item:?}: locality {p} exported {stray:?} as a persistent replica but no longer owns it (fenced region migrated or written away)"
+                    ));
+                }
+                fences = Some(match fences {
+                    None => fence,
+                    Some(f) => f.union_dyn(fence.as_ref()),
+                });
+            }
+            if let Some(fences) = fences {
+                for (p, loc) in self.world.localities.iter().enumerate() {
+                    let orphan = loc
+                        .dim
+                        .persistent_region(item)
+                        .difference_dyn(fences.as_ref());
+                    if !orphan.is_empty_dyn() {
+                        violations.push(format!(
+                            "item {item:?}: locality {p} holds persistent replica {orphan:?} with no backing export fence"
+                        ));
+                    }
                 }
             }
         }
@@ -427,7 +506,7 @@ impl RtCtx<'_> {
 /// A full-application data snapshot (resilience manager payload).
 #[derive(Clone)]
 pub struct Checkpoint {
-    per_locality: Vec<Vec<(ItemId, Vec<u8>)>>,
+    pub(crate) per_locality: Vec<Vec<(ItemId, Vec<u8>)>>,
 }
 
 impl Checkpoint {
@@ -449,7 +528,10 @@ impl Runtime {
     /// Build a runtime over the given configuration.
     pub fn new(config: RtConfig) -> Self {
         let nodes = config.spec.nodes;
-        let net = Network::new(config.spec.build_topology(), config.spec.net.clone());
+        let mut net = Network::new(config.spec.build_topology(), config.spec.net.clone());
+        if let Some(plan) = config.faults {
+            net.install_faults(plan);
+        }
         let localities = (0..nodes)
             .map(|i| Locality {
                 cores: CorePool::new(config.spec.cores_per_node),
@@ -483,6 +565,15 @@ impl Runtime {
             phase: 0,
             finish_time: SimTime::ZERO,
             done: false,
+            resilience: config
+                .resilience
+                .map(|cfg| ResilienceManager::new(cfg, nodes)),
+            dead: vec![false; nodes],
+            run_epoch: 0,
+            retry_policy: config
+                .resilience
+                .map(|cfg| cfg.retry)
+                .unwrap_or_default(),
         };
         let mut sim = Sim::new(world);
         sim.world.policy = config.policy;
@@ -498,8 +589,14 @@ impl Runtime {
         self.sim.schedule(SimDuration::ZERO, |sim| {
             advance_phase(sim, None);
         });
+        if let Some(mgr) = &self.sim.world.resilience {
+            let period = mgr.cfg.heartbeat_period;
+            self.sim.schedule(period, heartbeat_tick);
+        }
         self.sim.run();
         self.sim.world.monitor.cache = self.sim.world.loc_cache.stats();
+        self.sim.world.monitor.resilience.net_retries = self.sim.world.net.stats().retries;
+        self.sim.world.monitor.resilience.net_dropped = self.sim.world.net.stats().dropped;
         let w = &self.sim.world;
         assert!(
             w.inflight.is_empty() && w.parents.is_empty(),
@@ -521,11 +618,22 @@ impl Runtime {
 
 // ------------------------------------------------------------------ billing
 
-/// Bill a message on the network and in the monitor; returns arrival time.
-fn send(w: &mut RtWorld, now: SimTime, from: usize, to: usize, bytes: usize) -> SimTime {
+/// Bill a message on the network and in the monitor; returns the arrival
+/// time, or `None` when the message was lost for good — the destination
+/// (or source) is dead, or every retry attempt was dropped. Attempts and
+/// backoff latency are billed on the simulated clock by the network's
+/// retry wrapper; a definitive loss is counted in the resilience stats
+/// and leaves the work it carried stranded until recovery reaps it.
+fn send(w: &mut RtWorld, now: SimTime, from: usize, to: usize, bytes: usize) -> Option<SimTime> {
     w.monitor.per_locality[from].msgs_sent += 1;
     w.monitor.per_locality[from].bytes_sent += bytes as u64;
-    w.net.transfer(now, from, to, bytes)
+    match w.net.transfer_with_retry(now, from, to, bytes, &w.retry_policy) {
+        Ok(arrival) => Some(arrival),
+        Err(_) => {
+            w.monitor.resilience.failed_transfers += 1;
+            None
+        }
+    }
 }
 
 /// Bill a chain of control-message hops; returns completion time.
@@ -534,17 +642,65 @@ fn send(w: &mut RtWorld, now: SimTime, from: usize, to: usize, bytes: usize) -> 
 /// for the per-message CPU overhead (the LogP `o` term): this is what
 /// makes a centralized directory congest under load while the
 /// hierarchical index spreads handling over the tree.
+///
+/// Index operations apply their logical state change before billing, so a
+/// hop lost to fault injection truncates the remaining billing chain but
+/// never the index mutation itself.
 fn bill_hops(w: &mut RtWorld, mut now: SimTime, hops: &[Hop]) -> SimTime {
     let bytes = w.cost.control_msg_bytes;
     let cpu = w.cost.msg_cpu();
     for &(a, b) in hops {
-        now = send(w, now, a, b, bytes);
+        match send(w, now, a, b, bytes) {
+            Some(arrival) => now = arrival,
+            None => return now,
+        }
         let start = w.localities[b].comm_busy.max(now);
         let end = start + cpu;
         w.localities[b].comm_busy = end;
         now = end;
     }
     now
+}
+
+/// Schedule a task-lifecycle event guarded by the current recovery epoch:
+/// if a recovery happens before the event fires, it becomes a no-op. This
+/// is how an entire in-flight phase is discarded — its completions,
+/// transfer arrivals, and retries are all stale after the world is
+/// rewound to the checkpoint.
+fn schedule_task_event(
+    sim: &mut RtSim,
+    at: SimTime,
+    f: impl FnOnce(&mut RtSim) + 'static,
+) {
+    let epoch = sim.world.run_epoch;
+    sim.schedule_at(at, move |sim| {
+        if sim.world.run_epoch == epoch {
+            f(sim);
+        }
+    });
+}
+
+/// Remap a scheduling target away from localities known to be dead. The
+/// detector's knowledge only — an undetected death is *not* remapped (the
+/// runtime cannot know), so tasks sent there are lost and stall the phase
+/// until the heartbeat detector catches up.
+fn live_target(w: &RtWorld, target: usize) -> usize {
+    if w.dead[target] {
+        live_successor(w, target)
+    } else {
+        target
+    }
+}
+
+/// The next live locality after `p` on the ring (successor heir rule).
+/// Locality 0 hosts the failure detector and is assumed immortal, so a
+/// live locality always exists.
+fn live_successor(w: &RtWorld, p: usize) -> usize {
+    let nodes = w.localities.len();
+    (1..nodes)
+        .map(|d| (p + d) % nodes)
+        .find(|&q| !w.dead[q])
+        .expect("at least one live locality")
 }
 
 /// Resolve `region` of `item` from locality `at`, going through the
@@ -590,6 +746,7 @@ fn policy_env(w: &RtWorld) -> (usize, usize, Vec<usize>) {
 // ------------------------------------------------------------- phase driver
 
 fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
+    maybe_checkpoint(sim, prev.is_none());
     let phase = sim.world.phase;
     let mut driver = sim.world.driver.take().expect("driver present");
     let now = sim.now();
@@ -613,6 +770,187 @@ fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
     }
 }
 
+// --------------------------------------------------------------- resilience
+
+/// Snapshot the cluster at a phase boundary when the cadence says so.
+///
+/// Boundaries whose phase value is `Some` are skipped: `TaskValue` is an
+/// opaque `Box<dyn Any>` that cannot be serialized into the checkpoint,
+/// so the replay (which feeds `None`) would not be faithful. Drivers that
+/// thread values between phases simply get coarser checkpoints.
+fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
+    let phase = sim.world.phase;
+    let due = match &sim.world.resilience {
+        Some(mgr) => prev_is_none && mgr.due(phase),
+        None => return,
+    };
+    if !due {
+        return;
+    }
+    let snap = Checkpoint {
+        per_locality: sim
+            .world
+            .localities
+            .iter()
+            .map(|l| l.dim.checkpoint())
+            .collect(),
+    };
+    let w = &mut sim.world;
+    w.monitor.resilience.checkpoints += 1;
+    w.monitor.resilience.checkpoint_bytes += snap.bytes() as u64;
+    let tasks_done = w.monitor.total_tasks();
+    w.resilience
+        .as_mut()
+        .expect("resilience enabled")
+        .save(phase, snap, tasks_done);
+}
+
+/// One round of the failure detector: locality 0 pings every live peer
+/// (ping + ack as control messages on the faulty network, no retries —
+/// the suspicion counter *is* the retry), declares localities dead after
+/// `suspicion_threshold` consecutive silent rounds, and rearms itself.
+fn heartbeat_tick(sim: &mut RtSim) {
+    if sim.world.done {
+        return; // stop rearming: lets the event queue drain
+    }
+    let now = sim.now();
+    let nodes = sim.world.localities.len();
+    let ctrl = sim.world.cost.control_msg_bytes;
+    let threshold = match &sim.world.resilience {
+        Some(mgr) => mgr.cfg.suspicion_threshold,
+        None => return,
+    };
+    let mut detected: Vec<usize> = Vec::new();
+    for p in 1..nodes {
+        if sim.world.dead[p] {
+            continue;
+        }
+        sim.world.monitor.resilience.heartbeats += 1;
+        let alive = match sim.world.net.try_transfer(now, 0, p, ctrl) {
+            Ok(arr) => sim.world.net.try_transfer(arr, p, 0, ctrl).is_ok(),
+            Err(_) => false,
+        };
+        let mgr = sim.world.resilience.as_mut().expect("resilience enabled");
+        if alive {
+            mgr.misses[p] = 0;
+        } else {
+            mgr.misses[p] += 1;
+            if mgr.misses[p] >= threshold {
+                detected.push(p);
+            }
+        }
+    }
+    for p in detected {
+        detect_and_recover(sim, p);
+    }
+    let period = sim
+        .world
+        .resilience
+        .as_ref()
+        .expect("resilience enabled")
+        .cfg
+        .heartbeat_period;
+    sim.schedule(period, heartbeat_tick);
+}
+
+/// Declare `dead` failed and orchestrate recovery: discard the in-flight
+/// phase (epoch bump makes its pending events no-ops), rewind every
+/// locality to the last checkpoint, graft the dead locality's shards onto
+/// its live ring successor, re-advertise all ownership in the index with
+/// a location-cache epoch bump, and replay from the checkpointed phase
+/// boundary. Safe by the model's Section 2.5 properties: checkpointed
+/// data is preserved, and a task either completed before the checkpoint
+/// (its effects are in the snapshot) or re-runs from it — never both.
+fn detect_and_recover(sim: &mut RtSim, dead: usize) {
+    assert_ne!(dead, 0, "locality 0 hosts the detector (assumed immortal)");
+    if sim.world.dead[dead] {
+        return;
+    }
+    let now = sim.now();
+    let w = &mut sim.world;
+    w.dead[dead] = true;
+    w.run_epoch += 1;
+    w.monitor.resilience.detections += 1;
+    w.monitor.resilience.recoveries += 1;
+    if let Some(t0) = w.net.faults().and_then(|f| f.death_time(dead)) {
+        if now >= t0 {
+            w.monitor.resilience.detection_latency_ns += (now - t0).as_nanos();
+        }
+    }
+    let mgr = w.resilience.as_mut().expect("resilience enabled");
+    let tasks_at_checkpoint = mgr.tasks_at_checkpoint;
+    let saved = mgr.last.clone();
+    mgr.misses.fill(0);
+    let reexecuted = w.monitor.total_tasks().saturating_sub(tasks_at_checkpoint);
+    w.monitor.resilience.tasks_reexecuted += reexecuted;
+    // Discard the in-flight phase's bookkeeping; its scheduled events are
+    // disarmed by the epoch bump above.
+    w.inflight.clear();
+    w.parents.clear();
+    w.parked.clear();
+    w.retry_scheduled = false;
+    for l in w.localities.iter_mut() {
+        l.load = 0;
+    }
+    let nodes = w.localities.len();
+    match saved {
+        Some(SavedCheckpoint { phase, snap }) => {
+            // Pass 1: rewind every survivor, wipe every dead locality
+            // (fail-stop: a crashed process loses its volatile data).
+            for p in 0..nodes {
+                if w.dead[p] {
+                    w.localities[p].dim.wipe_all();
+                } else {
+                    w.localities[p].dim.restore(&snap.per_locality[p]);
+                }
+            }
+            // Pass 2: graft each dead locality's checkpointed shards onto
+            // its live ring successor — after the survivors' own restore,
+            // so the graft is not clobbered.
+            let mut restored = 0u64;
+            for p in 0..nodes {
+                if !w.dead[p] {
+                    continue;
+                }
+                let heir = live_successor(w, p);
+                for (item, bytes) in &snap.per_locality[p] {
+                    w.localities[heir].dim.import_owned(*item, bytes);
+                    restored += bytes.len() as u64;
+                }
+            }
+            w.monitor.resilience.restored_bytes += restored;
+            // Re-advertise all ownership; bump the cache epochs first so
+            // no pre-recovery resolution survives.
+            let items: Vec<ItemId> = w.item_descs.keys().copied().collect();
+            for item in items {
+                w.loc_cache.bump(item);
+                for p in 0..nodes {
+                    let owned = w.localities[p].dim.owned_region(item);
+                    w.index.update_leaf(item, p, owned);
+                }
+            }
+            w.phase = phase;
+        }
+        None => {
+            // No checkpoint yet: restart the application from scratch.
+            let items: Vec<ItemId> = w.item_descs.keys().copied().collect();
+            for item in items {
+                w.index.remove_item(item);
+                w.loc_cache.forget(item);
+            }
+            w.item_descs.clear();
+            for p in 0..nodes {
+                w.localities[p].dim = DataItemManager::new(p);
+            }
+            w.next_item = 0;
+            w.phase = 0;
+        }
+    }
+    // Replay from the restored boundary (guarded: a second recovery
+    // before this fires would supersede it).
+    schedule_task_event(sim, now, |sim| advance_phase(sim, None));
+}
+
 // -------------------------------------------------------------- Algorithm 2
 
 /// Assign a task to a node (paper Algorithm 2).
@@ -634,26 +972,40 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
 
     match variant {
         Variant::Split => {
-            // Pure decomposition: the policy chooses where it runs.
+            // Pure decomposition: the policy chooses where it runs
+            // (remapped off localities known dead).
             let target = sim
                 .world
                 .policy
                 .pick_target(wi.placement_hint(), at, &env);
+            let target = live_target(&sim.world, target);
             let now = sim.now();
             let arrival = if target != at {
-                send(&mut sim.world, now, at, target, wi.descriptor_bytes())
+                match send(&mut sim.world, now, at, target, wi.descriptor_bytes()) {
+                    Some(arrival) => arrival,
+                    // The task descriptor is lost (undetected dead target
+                    // or exhausted retries): the phase stalls until the
+                    // failure detector triggers recovery.
+                    None => return,
+                }
             } else {
                 now
             };
             sim.world.localities[target].load += 1;
-            sim.schedule_at(arrival, move |sim| do_split(sim, target, tid, wi, parent));
+            schedule_task_event(sim, arrival, move |sim| {
+                do_split(sim, target, tid, wi, parent)
+            });
         }
         Variant::Process => {
             let reqs = wi.requirements();
             let target = pick_process_target(sim, at, wi.as_ref(), &reqs, &env);
+            let target = live_target(&sim.world, target);
             let now = sim.now();
             let arrival = if target != at {
-                send(&mut sim.world, now, at, target, wi.descriptor_bytes())
+                match send(&mut sim.world, now, at, target, wi.descriptor_bytes()) {
+                    Some(arrival) => arrival,
+                    None => return, // lost task: stalls until recovery
+                }
             } else {
                 now
             };
@@ -670,7 +1022,7 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
                     pending_done: None,
                 },
             );
-            sim.schedule_at(arrival, move |sim| prepare_task(sim, tid));
+            schedule_task_event(sim, arrival, move |sim| prepare_task(sim, tid));
         }
     }
 }
@@ -775,7 +1127,7 @@ fn do_split(
     let (_, end) = sim.world.localities[loc].cores.acquire(now, overhead);
     sim.world.monitor.per_locality[loc].busy_ns += overhead.as_nanos();
     sim.world.monitor.per_locality[loc].tasks_split += 1;
-    sim.schedule_at(end, move |sim| {
+    schedule_task_event(sim, end, move |sim| {
         let result_bytes = wi.result_bytes();
         let SplitOutcome { children, combine } = wi.split();
         sim.world.localities[loc].load -= 1;
@@ -843,18 +1195,27 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                 sim.world.monitor.per_locality[loc].first_touch += 1;
             }
             Move::Migrate { item, region, src } => {
+                // `pending` is committed before any send: a transfer that
+                // is lost must strand the task (never let it run without
+                // its data), so the phase stalls until recovery reaps it.
+                pending += 1;
+                // Request hop first — an unreachable source is not
+                // mutated, so no data leaves the cluster with the failed
+                // message.
+                let ctrl = sim.world.cost.control_msg_bytes;
+                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl) else {
+                    continue;
+                };
                 let bytes = sim.world.localities[src]
                     .dim
                     .export_migration(item, region.as_ref());
                 let src_owned = sim.world.localities[src].dim.owned_region(item);
                 let hops = index_update(&mut sim.world, item, src, src_owned);
                 bill_hops(&mut sim.world, now, &hops);
-                // Request hop, then the data transfer.
-                let ctrl = sim.world.cost.control_msg_bytes;
-                let req_arr = send(&mut sim.world, now, loc, src, ctrl);
-                let arr = send(&mut sim.world, req_arr, src, loc, bytes.len());
-                pending += 1;
-                sim.schedule_at(arr, move |sim| {
+                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len()) else {
+                    continue;
+                };
+                schedule_task_event(sim, arr, move |sim| {
                     let loc2 = sim.world.inflight[&tid].loc;
                     sim.world.localities[loc2].dim.import_owned(item, &bytes);
                     let owned = sim.world.localities[loc2].dim.owned_region(item);
@@ -866,18 +1227,22 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                 });
             }
             Move::Replicate { item, region, src } => {
+                pending += 1;
+                let ctrl = sim.world.cost.control_msg_bytes;
+                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl) else {
+                    continue;
+                };
                 let bytes = sim.world.localities[src].dim.export_replica(
                     item,
                     region.as_ref(),
                     loc,
                     tid,
                 );
-                let ctrl = sim.world.cost.control_msg_bytes;
-                let req_arr = send(&mut sim.world, now, loc, src, ctrl);
-                let arr = send(&mut sim.world, req_arr, src, loc, bytes.len());
-                pending += 1;
+                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len()) else {
+                    continue;
+                };
                 let region2 = region.clone_box();
-                sim.schedule_at(arr, move |sim| {
+                schedule_task_event(sim, arr, move |sim| {
                     let loc2 = sim.world.inflight[&tid].loc;
                     sim.world.localities[loc2].dim.import_replica(item, &bytes, tid);
                     sim.world.monitor.per_locality[loc2].replicas_in += 1;
@@ -1061,7 +1426,7 @@ fn start_execution(sim: &mut RtSim, tid: TaskId) {
     let (_, end) = sim.world.localities[loc].cores.acquire(now, dur);
     sim.world.monitor.per_locality[loc].busy_ns += dur.as_nanos();
     sim.world.monitor.task_durations.record(dur.as_nanos());
-    sim.schedule_at(end, move |sim| finish_execution(sim, tid));
+    schedule_task_event(sim, end, move |sim| finish_execution(sim, tid));
 }
 
 fn finish_execution(sim: &mut RtSim, tid: TaskId) {
@@ -1089,8 +1454,12 @@ fn finish_execution(sim: &mut RtSim, tid: TaskId) {
         }
         let _ = region;
         let bytes = sim.world.cost.control_msg_bytes;
-        let arr = send(&mut sim.world, now, loc, owner, bytes);
-        sim.schedule_at(arr, move |sim| {
+        // A lost release leaves the owner's export fence standing; any
+        // writer it blocks stays parked until recovery clears the slate.
+        let Some(arr) = send(&mut sim.world, now, loc, owner, bytes) else {
+            continue;
+        };
+        schedule_task_event(sim, arr, move |sim| {
             sim.world.localities[owner].dim.release_exports_of(item, tid);
             schedule_retries(sim);
         });
@@ -1139,8 +1508,12 @@ fn finish_task(
             let bytes = sim.world.parents[&ptid].result_bytes;
             if p_loc != loc {
                 let now = sim.now();
-                let arr = send(&mut sim.world, now, loc, p_loc, bytes);
-                sim.schedule_at(arr, move |sim| child_done(sim, ptid, idx, value));
+                // A lost result message orphans the parent; the phase
+                // stalls until the failure detector triggers recovery.
+                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes) else {
+                    return;
+                };
+                schedule_task_event(sim, arr, move |sim| child_done(sim, ptid, idx, value));
             } else {
                 child_done(sim, ptid, idx, value);
             }
@@ -1183,8 +1556,10 @@ fn child_done(sim: &mut RtSim, ptid: TaskId, idx: usize, value: TaskValue) {
             let bytes = sim.world.parents[&gp].result_bytes;
             if p_loc != loc {
                 let now = sim.now();
-                let arr = send(&mut sim.world, now, loc, p_loc, bytes);
-                sim.schedule_at(arr, move |sim| child_done(sim, gp, gidx, combined));
+                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes) else {
+                    return; // lost combined result: stalls until recovery
+                };
+                schedule_task_event(sim, arr, move |sim| child_done(sim, gp, gidx, combined));
             } else {
                 child_done(sim, gp, gidx, combined);
             }
@@ -1200,7 +1575,8 @@ fn schedule_retries(sim: &mut RtSim) {
         return;
     }
     sim.world.retry_scheduled = true;
-    sim.schedule(SimDuration::from_nanos(1), |sim| {
+    let at = sim.now() + SimDuration::from_nanos(1);
+    schedule_task_event(sim, at, |sim| {
         sim.world.retry_scheduled = false;
         let parked = std::mem::take(&mut sim.world.parked);
         for tid in parked {

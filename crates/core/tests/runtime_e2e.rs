@@ -782,6 +782,111 @@ fn run_report_summary_renders()  {
     assert!(s.contains("first-touch"));
 }
 
+/// Restoring a checkpoint into a runtime with a different locality count
+/// must fail loudly instead of silently truncating the restore.
+#[test]
+#[should_panic(expected = "checkpoint shape mismatch")]
+fn restore_rejects_mismatched_cluster_shape() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    // Take a checkpoint on a 2-node cluster…
+    let cp: Rc<RefCell<Option<allscale_core::Checkpoint>>> = Rc::new(RefCell::new(None));
+    let cp2 = cp.clone();
+    let rt = Runtime::new(config(2, 2));
+    rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            if phase > 0 {
+                *cp2.borrow_mut() = Some(ctx.checkpoint());
+                return None;
+            }
+            let g = Grid::<f64, 1>::create(ctx, "v", [32]);
+            Some(pfor(
+                PforSpec {
+                    name: "init",
+                    range: g.full_box(),
+                    grain: 8,
+                    ns_per_point: 2.0,
+                    axis0_pieces: 0,
+                },
+                move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                move |ctx2, p| g.set(ctx2, p.0, 1.0),
+            ))
+        },
+    );
+    let snap = cp.borrow_mut().take().expect("checkpoint taken");
+
+    // …and feed it to a 3-node cluster: two shards cannot describe three
+    // localities, so restore must panic rather than truncate.
+    let rt = Runtime::new(config(3, 2));
+    rt.run(
+        move |_phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            ctx.restore(&snap);
+            None
+        },
+    );
+}
+
+/// The fenced-writes invariant (consistency check 4): a persistent
+/// replica's backing export fence must stay within its recorder's owned
+/// region. Migrating fenced data away from the recorder without dropping
+/// the broadcast is exactly the corruption the check exists to catch.
+#[test]
+fn verify_consistency_flags_migrated_fenced_region() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let cell: Rc<RefCell<Option<Grid<f64, 1>>>> = Rc::new(RefCell::new(None));
+    let cell2 = cell.clone();
+    let rt = Runtime::new(config(3, 2));
+    rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    let g = Grid::<f64, 1>::create(ctx, "shared", [64]);
+                    *cell2.borrow_mut() = Some(g);
+                    // Keep all data on one owner (no axis-0 spreading).
+                    Some(pfor(
+                        PforSpec {
+                            name: "init",
+                            range: g.full_box(),
+                            grain: 64,
+                            ns_per_point: 2.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |ctx2, p| g.set(ctx2, p.0, p[0] as f64),
+                    ))
+                }
+                1 => {
+                    let g = cell2.borrow().unwrap();
+                    let owner = (0..ctx.nodes())
+                        .find(|&l| !ctx.owned_region_at(l, g.id).is_empty_dyn())
+                        .expect("grid owned somewhere");
+                    ctx.broadcast_replicate(g.id, owner, &g.full_region());
+                    // A clean broadcast satisfies all four checks.
+                    let violations = ctx.verify_consistency();
+                    assert!(violations.is_empty(), "after broadcast: {violations:?}");
+
+                    // Now migrate part of the fenced region away from its
+                    // recorder: the fence no longer lies in the recorder's
+                    // owned region, and check 4 must say so.
+                    let dst = (owner + 1) % ctx.nodes();
+                    let slice = BoxRegion::<1>::cuboid([0], [16]);
+                    ctx.migrate_region(g.id, &slice, owner, dst);
+                    let violations = ctx.verify_consistency();
+                    assert!(
+                        violations.iter().any(|v| v.contains("no longer owns")),
+                        "check 4 must flag the migrated fence, got: {violations:?}"
+                    );
+                    None
+                }
+                _ => unreachable!(),
+            }
+        },
+    );
+}
+
 /// Torus-topology clusters run the full stack too (ablation A4 plumbing).
 #[test]
 fn torus_cluster_end_to_end() {

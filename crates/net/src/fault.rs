@@ -1,0 +1,247 @@
+//! Deterministic fault injection for the simulated interconnect.
+//!
+//! The paper reserves a *resilience manager* (Section 3.2) among the
+//! runtime services enabled by the application model; exercising it
+//! requires a cluster that can actually fail. A [`FaultPlan`] makes the
+//! simulated network misbehave in a fully reproducible way:
+//!
+//! - **transient message faults** — individual transfers are dropped or
+//!   delayed with configurable probabilities, drawn from a seeded
+//!   xorshift generator so every run with the same seed observes the
+//!   identical fault sequence;
+//! - **fail-stop node deaths** — a locality can be marked *dead* from a
+//!   chosen simulated time onward; after that instant it neither sends
+//!   nor receives (its volatile data is considered lost — wiping it is
+//!   the runtime's job, the network only refuses delivery).
+//!
+//! The plan is consulted by [`Network::try_transfer`] and the
+//! retry wrapper [`Network::transfer_with_retry`]; the plain infallible
+//! [`Network::transfer`] ignores it, so baselines that model a reliable
+//! fabric (e.g. the MPI port) are unaffected.
+//!
+//! [`Network::transfer`]: crate::Network::transfer
+//! [`Network::try_transfer`]: crate::Network::try_transfer
+//! [`Network::transfer_with_retry`]: crate::Network::transfer_with_retry
+
+use std::collections::BTreeMap;
+
+use allscale_des::{SimDuration, SimTime};
+
+/// Why a fallible transfer did not deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFault {
+    /// The sending locality is dead at submission time.
+    SenderDead,
+    /// The receiving locality is dead when the message would arrive.
+    ReceiverDead,
+    /// The message was lost in transit (transient fault).
+    Dropped,
+}
+
+/// The verdict of [`FaultPlan::judge`] for one message attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver, but `SimDuration` later than the cost model says.
+    Delay(SimDuration),
+    /// Do not deliver.
+    Fault(TransferFault),
+}
+
+/// A deterministic, seedable schedule of network faults.
+///
+/// Probabilities are stored in parts-per-million and drawn from an
+/// internal xorshift64* generator, so the fault sequence depends only on
+/// the seed and the (deterministic) order of transfer attempts.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: u64,
+    drop_ppm: u32,
+    delay_ppm: u32,
+    delay: SimDuration,
+    deaths: BTreeMap<usize, SimTime>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults configured.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            drop_ppm: 0,
+            delay_ppm: 0,
+            delay: SimDuration::ZERO,
+            deaths: BTreeMap::new(),
+        }
+    }
+
+    /// Drop each message attempt with probability `p` (clamped to `[0, 1]`).
+    pub fn with_drop_rate(mut self, p: f64) -> Self {
+        self.drop_ppm = (p.clamp(0.0, 1.0) * 1e6) as u32;
+        self
+    }
+
+    /// Delay each (delivered) message by `delay` with probability `p`.
+    pub fn with_delay(mut self, p: f64, delay: SimDuration) -> Self {
+        self.delay_ppm = (p.clamp(0.0, 1.0) * 1e6) as u32;
+        self.delay = delay;
+        self
+    }
+
+    /// Mark `node` dead (fail-stop) from simulated time `at` onward.
+    pub fn kill_at(&mut self, node: usize, at: SimTime) {
+        self.deaths.insert(node, at);
+    }
+
+    /// The configured death time of `node`, if any.
+    pub fn death_time(&self, node: usize) -> Option<SimTime> {
+        self.deaths.get(&node).copied()
+    }
+
+    /// Whether `node` is dead at simulated time `now`.
+    pub fn is_dead(&self, node: usize, now: SimTime) -> bool {
+        matches!(self.deaths.get(&node), Some(&t) if now >= t)
+    }
+
+    /// Judge one message attempt from `src` to `dst` submitted at `now`.
+    ///
+    /// Death checks come first (they are schedule-independent); the
+    /// transient draws advance the seeded generator exactly once per
+    /// configured probability, keeping runs reproducible.
+    pub fn judge(&mut self, now: SimTime, src: usize, dst: usize) -> Verdict {
+        if self.is_dead(src, now) {
+            return Verdict::Fault(TransferFault::SenderDead);
+        }
+        if self.is_dead(dst, now) {
+            return Verdict::Fault(TransferFault::ReceiverDead);
+        }
+        if src == dst {
+            // Local copies never traverse the faulty fabric.
+            return Verdict::Deliver;
+        }
+        if self.drop_ppm > 0 && self.draw_ppm() < self.drop_ppm {
+            return Verdict::Fault(TransferFault::Dropped);
+        }
+        if self.delay_ppm > 0 && self.draw_ppm() < self.delay_ppm {
+            return Verdict::Delay(self.delay);
+        }
+        Verdict::Deliver
+    }
+
+    /// One xorshift64* draw reduced to `[0, 1e6)`.
+    fn draw_ppm(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 1_000_000) as u32
+    }
+}
+
+/// Bounded retry with exponential backoff for fallible transfers.
+///
+/// A failed attempt is detected after `ack_timeout` (the sender waited
+/// for an acknowledgement that never came), then the sender backs off
+/// `base_backoff · 2^(attempt-1)` before retrying — all billed on the
+/// simulated clock by [`Network::transfer_with_retry`].
+///
+/// [`Network::transfer_with_retry`]: crate::Network::transfer_with_retry
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (including the first). At least 1.
+    pub max_attempts: u32,
+    /// Time until a lost message is noticed (no acknowledgement).
+    pub ack_timeout: SimDuration,
+    /// First backoff step; doubles on every further attempt.
+    pub base_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            ack_timeout: SimDuration::from_nanos(2_000),
+            base_backoff: SimDuration::from_nanos(1_000),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait between a failed `attempt` (1-based) and its retry.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        self.ack_timeout + self.base_backoff.saturating_mul(1u64 << attempt.min(20).saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn no_faults_by_default() {
+        let mut plan = FaultPlan::new(7);
+        for i in 0..1000 {
+            assert_eq!(plan.judge(t(i), 0, 1), Verdict::Deliver);
+        }
+    }
+
+    #[test]
+    fn drops_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut plan = FaultPlan::new(seed).with_drop_rate(0.3);
+            (0..64)
+                .map(|i| plan.judge(t(i), 0, 1) == Verdict::Deliver)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+        let delivered = run(1).iter().filter(|&&d| d).count();
+        assert!(delivered > 20 && delivered < 60, "rate wildly off: {delivered}/64");
+    }
+
+    #[test]
+    fn death_is_a_point_of_no_return() {
+        let mut plan = FaultPlan::new(1);
+        plan.kill_at(2, t(500));
+        assert!(!plan.is_dead(2, t(499)));
+        assert!(plan.is_dead(2, t(500)));
+        assert_eq!(plan.judge(t(499), 2, 0), Verdict::Deliver);
+        assert_eq!(
+            plan.judge(t(600), 2, 0),
+            Verdict::Fault(TransferFault::SenderDead)
+        );
+        assert_eq!(
+            plan.judge(t(600), 0, 2),
+            Verdict::Fault(TransferFault::ReceiverDead)
+        );
+        assert_eq!(plan.death_time(2), Some(t(500)));
+        assert_eq!(plan.death_time(0), None);
+    }
+
+    #[test]
+    fn delays_have_the_configured_magnitude() {
+        let mut plan = FaultPlan::new(3).with_delay(1.0, SimDuration::from_nanos(777));
+        assert_eq!(
+            plan.judge(t(0), 0, 1),
+            Verdict::Delay(SimDuration::from_nanos(777))
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            ack_timeout: SimDuration::from_nanos(100),
+            base_backoff: SimDuration::from_nanos(10),
+        };
+        assert_eq!(p.backoff(1).as_nanos(), 110);
+        assert_eq!(p.backoff(2).as_nanos(), 120);
+        assert_eq!(p.backoff(3).as_nanos(), 140);
+        assert_eq!(p.backoff(4).as_nanos(), 180);
+    }
+}

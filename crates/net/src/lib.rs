@@ -13,10 +13,12 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod fault;
 mod network;
 mod topology;
 pub mod wire;
 
 pub use cluster::{ClusterSpec, TopologyKind};
+pub use fault::{FaultPlan, RetryPolicy, TransferFault, Verdict};
 pub use network::{NetParams, Network, TrafficStats};
 pub use topology::{AnyTopology, FatTree, NodeId, SingleSwitch, Topology, Torus2D};

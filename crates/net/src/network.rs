@@ -21,6 +21,7 @@
 
 use allscale_des::{SimDuration, SimTime, Tally};
 
+use crate::fault::{FaultPlan, RetryPolicy, TransferFault, Verdict};
 use crate::topology::{NodeId, Topology};
 
 /// Tunable cost parameters. Defaults approximate Intel OmniPath
@@ -85,6 +86,16 @@ pub struct TrafficStats {
     pub remote: Tally,
     /// Count and size distribution of intra-node messages.
     pub local: Tally,
+    /// Messages lost to transient faults (each retry attempt counts).
+    pub dropped: u64,
+    /// Messages delivered late because of an injected delay.
+    pub delayed: u64,
+    /// Retry attempts made by [`Network::transfer_with_retry`].
+    pub retries: u64,
+    /// Simulated nanoseconds spent in ack timeouts and backoff.
+    pub backoff_ns: u64,
+    /// Messages refused because an endpoint was dead.
+    pub undeliverable: u64,
 }
 
 impl TrafficStats {
@@ -105,6 +116,7 @@ pub struct Network<T: Topology> {
     tx_busy: Vec<SimTime>,
     rx_busy: Vec<SimTime>,
     stats: TrafficStats,
+    faults: Option<FaultPlan>,
 }
 
 impl<T: Topology> Network<T> {
@@ -117,7 +129,25 @@ impl<T: Topology> Network<T> {
             tx_busy: vec![SimTime::ZERO; n],
             rx_busy: vec![SimTime::ZERO; n],
             stats: TrafficStats::default(),
+            faults: None,
         }
+    }
+
+    /// Install a fault-injection plan; consulted by the fallible transfer
+    /// APIs only ([`Network::transfer`] stays a reliable fabric).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable access to the installed fault plan (e.g. to schedule an
+    /// additional death mid-run).
+    pub fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
     }
 
     /// Number of nodes.
@@ -157,6 +187,84 @@ impl<T: Topology> Network<T> {
         let recv_end = recv_start + ser;
         self.rx_busy[dst] = recv_end;
         recv_end
+    }
+
+    /// Fallible variant of [`Network::transfer`]: consults the installed
+    /// [`FaultPlan`] before committing resources.
+    ///
+    /// - A dead endpoint refuses the message outright (no resources are
+    ///   consumed; a dead sender cannot even serialize).
+    /// - A transient drop still occupies the sender's NIC — the bytes
+    ///   left, they just never arrived — and is reported as
+    ///   [`TransferFault::Dropped`].
+    /// - An injected delay postpones arrival past the cost model's time.
+    ///
+    /// Without a fault plan this is exactly [`Network::transfer`].
+    pub fn try_transfer(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+    ) -> Result<SimTime, TransferFault> {
+        let verdict = match &mut self.faults {
+            None => Verdict::Deliver,
+            Some(plan) => plan.judge(now, src, dst),
+        };
+        match verdict {
+            Verdict::Deliver => Ok(self.transfer(now, src, dst, bytes)),
+            Verdict::Delay(extra) => {
+                self.stats.delayed += 1;
+                Ok(self.transfer(now, src, dst, bytes) + extra)
+            }
+            Verdict::Fault(TransferFault::Dropped) => {
+                // The sender serialized the message before it was lost.
+                let ser = self.params.serialization(bytes);
+                let depart_start = self.tx_busy[src].max(now);
+                self.tx_busy[src] = depart_start + ser;
+                self.stats.dropped += 1;
+                Err(TransferFault::Dropped)
+            }
+            Verdict::Fault(fault) => {
+                self.stats.undeliverable += 1;
+                Err(fault)
+            }
+        }
+    }
+
+    /// [`Network::try_transfer`] wrapped in bounded retry with exponential
+    /// backoff: every failed attempt is noticed after the policy's ack
+    /// timeout, the sender backs off, and the retry is billed at the later
+    /// simulated time. Transient drops are masked up to
+    /// `policy.max_attempts`; dead endpoints fail immediately — telling a
+    /// crashed peer from a lossy link is the failure detector's job, not
+    /// the transport's.
+    pub fn transfer_with_retry(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        policy: &RetryPolicy,
+    ) -> Result<SimTime, TransferFault> {
+        let mut t = now;
+        let mut attempt = 1u32;
+        loop {
+            match self.try_transfer(t, src, dst, bytes) {
+                Ok(arrival) => return Ok(arrival),
+                Err(TransferFault::Dropped) => {
+                    if attempt >= policy.max_attempts.max(1) {
+                        return Err(TransferFault::Dropped);
+                    }
+                    let wait = policy.backoff(attempt);
+                    self.stats.retries += 1;
+                    self.stats.backoff_ns += wait.as_nanos();
+                    t = t + wait;
+                    attempt += 1;
+                }
+                Err(fault) => return Err(fault),
+            }
+        }
     }
 
     /// Like [`Network::transfer`] but without occupying the NICs — used to
@@ -238,6 +346,86 @@ mod tests {
         for w in arrivals.windows(2) {
             assert_eq!(w[1].as_nanos() - w[0].as_nanos(), 10_000);
         }
+    }
+
+    #[test]
+    fn try_transfer_without_plan_matches_transfer() {
+        let mut a = net(2);
+        let mut b = net(2);
+        let r1 = a.try_transfer(t(0), 0, 1, 4096).unwrap();
+        let r2 = b.transfer(t(0), 0, 1, 4096);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn dead_endpoints_refuse_messages() {
+        use crate::fault::{FaultPlan, TransferFault};
+        let mut n = net(4);
+        let mut plan = FaultPlan::new(1);
+        plan.kill_at(3, t(100));
+        n.install_faults(plan);
+        assert!(n.try_transfer(t(0), 0, 3, 64).is_ok());
+        assert_eq!(
+            n.try_transfer(t(100), 0, 3, 64),
+            Err(TransferFault::ReceiverDead)
+        );
+        assert_eq!(
+            n.try_transfer(t(100), 3, 0, 64),
+            Err(TransferFault::SenderDead)
+        );
+        assert_eq!(n.stats().undeliverable, 2);
+    }
+
+    #[test]
+    fn retry_masks_transient_drops_and_bills_backoff() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        // Heavy loss: retries are certain to happen over enough messages.
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(9).with_drop_rate(0.5));
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            ack_timeout: SimDuration::from_nanos(500),
+            base_backoff: SimDuration::from_nanos(100),
+        };
+        let mut delivered = 0;
+        for i in 0..50 {
+            if n.transfer_with_retry(t(i * 10_000), 0, 1, 256, &policy).is_ok() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 50, "16 attempts at 50% loss practically always deliver");
+        let s = n.stats();
+        assert!(s.retries > 0, "some messages needed retries");
+        assert_eq!(s.dropped, s.retries, "every drop was retried");
+        assert!(s.backoff_ns >= s.retries * 600, "backoff billed per retry");
+    }
+
+    #[test]
+    fn retry_is_bounded() {
+        use crate::fault::{FaultPlan, RetryPolicy, TransferFault};
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(4).with_drop_rate(1.0));
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            n.transfer_with_retry(t(0), 0, 1, 256, &policy),
+            Err(TransferFault::Dropped)
+        );
+        assert_eq!(n.stats().dropped, 3);
+        assert_eq!(n.stats().retries, 2, "attempts - 1 retries before giving up");
+    }
+
+    #[test]
+    fn injected_delay_postpones_arrival() {
+        use crate::fault::FaultPlan;
+        let clean = net(2).estimate(t(0), 0, 1, 1_000);
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(2).with_delay(1.0, SimDuration::from_nanos(5_000)));
+        let arrival = n.try_transfer(t(0), 0, 1, 1_000).unwrap();
+        assert_eq!(arrival.as_nanos(), clean.as_nanos() + 5_000);
+        assert_eq!(n.stats().delayed, 1);
     }
 
     #[test]
