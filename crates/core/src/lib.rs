@@ -23,7 +23,11 @@
 //!   resilience services the model enables;
 //! - [`resilience`]: the active resilience manager — checkpoint cadence,
 //!   heartbeat failure detection, and automatic recovery from fail-stop
-//!   locality deaths injected via [`FaultPlan`].
+//!   locality deaths injected via [`FaultPlan`];
+//! - structured tracing (`allscale-trace`): setting [`RtConfig::trace`]
+//!   records task, data, index, network and resilience events;
+//!   [`RunReport::trace`](monitor::RunReport::trace) exports Chrome
+//!   trace-event JSON and feeds [`critical_path`] analysis.
 //!
 //! ## Example: a complete two-phase program
 //!
@@ -93,6 +97,14 @@ pub use runtime::{AppDriver, Checkpoint, Locality, RtConfig, RtCtx, Runtime};
 // Fault-injection types, re-exported so applications configuring
 // `RtConfig::faults` need not depend on `allscale-net` directly.
 pub use allscale_net::{FaultPlan, RetryPolicy, TransferFault};
+
+// Tracing types, re-exported so applications enabling `RtConfig::trace`
+// and consuming `RunReport::trace` need not depend on `allscale-trace`
+// directly.
+pub use allscale_trace::{
+    critical_path, CriticalPathReport, EventKind, PathCategory, PathSegment, SpawnVariant, Trace,
+    TraceConfig, TraceEvent, TransferPurpose, RUNTIME_TID,
+};
 pub use task::{
     AccessMode, Done, ItemId, Prec, PrecOps, Requirement, SplitOutcome, TaskCtx, TaskId,
     TaskValue, WorkItem,

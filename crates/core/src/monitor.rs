@@ -3,7 +3,8 @@
 //! execution counters and cluster-wide aggregates, reported at the end of
 //! every run.
 
-use allscale_des::{SimTime, Tally};
+use allscale_des::{LogHistogram, SimTime};
+use allscale_trace::{critical_path, CriticalPathReport, Trace};
 
 use crate::loc_cache::CacheStats;
 use crate::resilience::ResilienceStats;
@@ -50,8 +51,13 @@ pub struct Monitor {
     /// re-executed tasks, network retries). All zeros when the run had no
     /// fault injection and no resilience manager.
     pub resilience: ResilienceStats,
-    /// Distribution of task compute durations (ns).
-    pub task_durations: Tally,
+    /// Distribution of task compute durations (ns), log2-bucketed for
+    /// p50/p90/p99 summaries.
+    pub task_durations: LogHistogram,
+    /// Distribution of remote transfer latencies (ns), send to arrival,
+    /// including retry backoff. Recorded whether or not tracing is on —
+    /// a traced and an untraced run report identical monitors.
+    pub transfer_latency: LogHistogram,
 }
 
 impl Monitor {
@@ -115,12 +121,22 @@ pub struct RunReport {
     pub remote_bytes: u64,
     /// Simulation events executed (diagnostics).
     pub events: u64,
+    /// The recorded trace, when `RtConfig::trace` enabled the sink
+    /// (`None` on untraced runs). Export with
+    /// [`Trace::to_chrome_json`], analyze with [`Self::critical_path`].
+    pub trace: Option<Trace>,
 }
 
 impl RunReport {
     /// Wall-clock-equivalent seconds of the simulated execution.
     pub fn seconds(&self) -> f64 {
         self.finish_time.as_secs_f64()
+    }
+
+    /// Critical-path analysis of the recorded trace (`None` when the run
+    /// was untraced).
+    pub fn critical_path(&self) -> Option<CriticalPathReport> {
+        self.trace.as_ref().map(critical_path)
     }
 
     /// Render a human-readable multi-line summary (examples, debugging).
@@ -150,6 +166,12 @@ impl RunReport {
             self.monitor.index_update_hops,
             self.monitor.busy_imbalance(),
         );
+        if self.monitor.task_durations.tally().count() > 0 {
+            let _ = writeln!(out, "task durations (ns): {}", self.monitor.task_durations);
+        }
+        if self.monitor.transfer_latency.tally().count() > 0 {
+            let _ = writeln!(out, "transfer latency (ns): {}", self.monitor.transfer_latency);
+        }
         let c = &self.monitor.cache;
         let _ = writeln!(
             out,

@@ -138,7 +138,7 @@ impl ResilienceManager {
     /// was restored to, which must not re-snapshot.
     pub fn due(&self, phase: usize) -> bool {
         phase > 0
-            && phase % self.cfg.checkpoint_every.max(1) == 0
+            && phase.is_multiple_of(self.cfg.checkpoint_every.max(1))
             && !matches!(&self.last, Some(s) if s.phase == phase)
     }
 

@@ -31,6 +31,9 @@ use std::collections::BTreeMap;
 use allscale_des::{CorePool, Sim, SimDuration, SimTime};
 use allscale_net::{AnyTopology, ClusterSpec, FaultPlan, Network, RetryPolicy};
 use allscale_region::ItemType;
+use allscale_trace::{
+    EventKind, SpawnVariant, TraceConfig, TraceEvent, TraceSink, TransferPurpose,
+};
 
 use crate::cost::CostModel;
 use crate::dim::DataItemManager;
@@ -123,6 +126,12 @@ pub struct RtConfig {
     /// locality death, such a run deadlocks — enable this whenever the
     /// fault plan kills nodes.
     pub resilience: Option<ResilienceConfig>,
+    /// Structured tracing: `Some` records task, data, index, network and
+    /// resilience events into bounded per-locality rings (consumed from
+    /// [`RunReport::trace`](crate::monitor::RunReport)). `None` (the
+    /// default) leaves the sink disabled — each instrumentation site then
+    /// costs a single branch on the simulated hot path.
+    pub trace: Option<TraceConfig>,
 }
 
 impl RtConfig {
@@ -135,6 +144,7 @@ impl RtConfig {
             central_index: false,
             faults: None,
             resilience: None,
+            trace: None,
         }
     }
 
@@ -147,6 +157,7 @@ impl RtConfig {
             central_index: false,
             faults: None,
             resilience: None,
+            trace: None,
         }
     }
 }
@@ -190,6 +201,9 @@ pub struct RtWorld {
     run_epoch: u64,
     /// Retry policy for runtime messages (default when no resilience).
     retry_policy: RetryPolicy,
+    /// Trace recording handle; a disabled sink unless `RtConfig::trace`
+    /// was set. The network layer holds a clone for fault-event recording.
+    trace: TraceSink,
 }
 
 type RtSim = Sim<RtWorld>;
@@ -253,6 +267,7 @@ impl RtCtx<'_> {
             .index
             .register_item(id, (desc.empty_region)().as_ref());
         self.world.item_descs.insert(id, desc);
+        trace_instant(self.world, self.now, 0, EventKind::ItemCreate { item: id.0 });
         id
     }
 
@@ -264,6 +279,7 @@ impl RtCtx<'_> {
         self.world.index.remove_item(item);
         self.world.loc_cache.forget(item);
         self.world.item_descs.remove(&item);
+        trace_instant(self.world, self.now, 0, EventKind::ItemDestroy { item: item.0 });
     }
 
     /// Read access to the fragment of `item` at `loc` — out-of-band
@@ -303,7 +319,8 @@ impl RtCtx<'_> {
             // A locality the broadcast cannot reach simply misses out on
             // the replica (it re-fetches on demand if it ever revives —
             // under fail-stop it never does).
-            match send(self.world, t, owner, dst, bytes.len()) {
+            let tag = Payload::data(TransferPurpose::Broadcast, None, item);
+            match send(self.world, t, owner, dst, bytes.len(), tag) {
                 Some(arrival) => t = arrival,
                 None => continue,
             }
@@ -319,18 +336,20 @@ impl RtCtx<'_> {
     /// the newly designated localities".
     pub fn migrate_region(&mut self, item: ItemId, region: &dyn DynRegion, from: usize, to: usize) {
         let w = &mut self.world;
+        let now = self.now;
         let bytes = w.localities[from].dim.export_migration(item, region);
         let new_src_owned = w.localities[from].dim.owned_region(item);
-        let hops1 = index_update(w, item, from, new_src_owned);
+        let hops1 = index_update(w, now, item, from, new_src_owned);
         w.localities[to].dim.import_owned(item, &bytes);
         let new_dst_owned = w.localities[to].dim.owned_region(item);
-        let hops2 = index_update(w, item, to, new_dst_owned);
+        let hops2 = index_update(w, now, item, to, new_dst_owned);
         // Driver-initiated migration is synchronous bookkeeping; a lost
         // transfer only truncates the billing (recovery restores any
         // halfway state from the checkpoint).
-        let t = send(w, self.now, from, to, bytes.len()).unwrap_or(self.now);
-        bill_hops(w, t, &hops1);
-        bill_hops(w, t, &hops2);
+        let tag = Payload::data(TransferPurpose::Migrate, None, item);
+        let t = send(w, now, from, to, bytes.len(), tag).unwrap_or(now);
+        bill_hops(w, t, &hops1, Some(item));
+        bill_hops(w, t, &hops2, Some(item));
         w.monitor.per_locality[to].migrations_in += 1;
     }
 
@@ -528,10 +547,15 @@ impl Runtime {
     /// Build a runtime over the given configuration.
     pub fn new(config: RtConfig) -> Self {
         let nodes = config.spec.nodes;
+        let trace = match &config.trace {
+            Some(cfg) => TraceSink::enabled(nodes, cfg),
+            None => TraceSink::disabled(),
+        };
         let mut net = Network::new(config.spec.build_topology(), config.spec.net.clone());
         if let Some(plan) = config.faults {
             net.install_faults(plan);
         }
+        net.install_trace(trace.clone());
         let localities = (0..nodes)
             .map(|i| Locality {
                 cores: CorePool::new(config.spec.cores_per_node),
@@ -574,6 +598,7 @@ impl Runtime {
                 .resilience
                 .map(|cfg| cfg.retry)
                 .unwrap_or_default(),
+            trace,
         };
         let mut sim = Sim::new(world);
         sim.world.policy = config.policy;
@@ -612,11 +637,68 @@ impl Runtime {
             remote_msgs: w.net.stats().remote_msgs(),
             remote_bytes: w.net.stats().remote_bytes(),
             events: self.sim.events_run(),
+            trace: w.trace.take(),
         }
     }
 }
 
 // ------------------------------------------------------------------ billing
+
+/// Semantic tag carried by every [`send`]: why the message crosses the
+/// wire and which task/item it feeds. Recorded on transfer trace events
+/// and used by the critical-path analyzer to attribute chain time.
+#[derive(Clone, Copy)]
+struct Payload {
+    purpose: TransferPurpose,
+    task: Option<TaskId>,
+    item: Option<ItemId>,
+}
+
+impl Payload {
+    /// A message feeding `task` (forward, result, release).
+    fn task(purpose: TransferPurpose, task: TaskId) -> Self {
+        Payload {
+            purpose,
+            task: Some(task),
+            item: None,
+        }
+    }
+
+    /// A data movement of `item`, optionally feeding `task`.
+    fn data(purpose: TransferPurpose, task: Option<TaskId>, item: ItemId) -> Self {
+        Payload {
+            purpose,
+            task,
+            item: Some(item),
+        }
+    }
+}
+
+/// Record an epoch-stamped instant on `loc`'s runtime track. `kind` is a
+/// small `Copy` value, so building it costs a few register moves even
+/// when the sink is disabled; the sink itself adds one branch.
+fn trace_instant(w: &RtWorld, now: SimTime, loc: usize, kind: EventKind) {
+    let epoch = w.run_epoch;
+    w.trace
+        .record(|| TraceEvent::instant(now.as_nanos(), loc as u32, kind).in_epoch(epoch));
+}
+
+/// Record an epoch-stamped span occupying `core` of `loc`.
+fn trace_core_span(
+    w: &RtWorld,
+    start: SimTime,
+    dur: SimDuration,
+    loc: usize,
+    core: usize,
+    kind: EventKind,
+) {
+    let epoch = w.run_epoch;
+    w.trace.record(|| {
+        TraceEvent::span(start.as_nanos(), dur.as_nanos(), loc as u32, kind)
+            .on_core(core)
+            .in_epoch(epoch)
+    });
+}
 
 /// Bill a message on the network and in the monitor; returns the arrival
 /// time, or `None` when the message was lost for good — the destination
@@ -624,13 +706,62 @@ impl Runtime {
 /// backoff latency are billed on the simulated clock by the network's
 /// retry wrapper; a definitive loss is counted in the resilience stats
 /// and leaves the work it carried stranded until recovery reaps it.
-fn send(w: &mut RtWorld, now: SimTime, from: usize, to: usize, bytes: usize) -> Option<SimTime> {
+///
+/// Remote deliveries land in the monitor's transfer-latency histogram
+/// (tracing on or off) and, when the sink is enabled, as a transfer span
+/// attributed to the destination locality; definitive losses become
+/// `TransferLost` instants at the sender.
+fn send(
+    w: &mut RtWorld,
+    now: SimTime,
+    from: usize,
+    to: usize,
+    bytes: usize,
+    tag: Payload,
+) -> Option<SimTime> {
     w.monitor.per_locality[from].msgs_sent += 1;
     w.monitor.per_locality[from].bytes_sent += bytes as u64;
     match w.net.transfer_with_retry(now, from, to, bytes, &w.retry_policy) {
-        Ok(arrival) => Some(arrival),
+        Ok(arrival) => {
+            if from != to {
+                w.monitor.transfer_latency.record((arrival - now).as_nanos());
+                let epoch = w.run_epoch;
+                w.trace.record(|| {
+                    TraceEvent::span(
+                        now.as_nanos(),
+                        (arrival - now).as_nanos(),
+                        to as u32,
+                        EventKind::Transfer {
+                            purpose: tag.purpose,
+                            src: from as u32,
+                            dst: to as u32,
+                            bytes: bytes as u64,
+                            task: tag.task.map(|t| t.0),
+                            item: tag.item.map(|i| i.0),
+                        },
+                    )
+                    .in_epoch(epoch)
+                });
+            }
+            Some(arrival)
+        }
         Err(_) => {
             w.monitor.resilience.failed_transfers += 1;
+            let epoch = w.run_epoch;
+            w.trace.record(|| {
+                TraceEvent::instant(
+                    now.as_nanos(),
+                    from as u32,
+                    EventKind::TransferLost {
+                        purpose: tag.purpose,
+                        src: from as u32,
+                        dst: to as u32,
+                        bytes: bytes as u64,
+                        task: tag.task.map(|t| t.0),
+                    },
+                )
+                .in_epoch(epoch)
+            });
             None
         }
     }
@@ -646,11 +777,16 @@ fn send(w: &mut RtWorld, now: SimTime, from: usize, to: usize, bytes: usize) -> 
 /// Index operations apply their logical state change before billing, so a
 /// hop lost to fault injection truncates the remaining billing chain but
 /// never the index mutation itself.
-fn bill_hops(w: &mut RtWorld, mut now: SimTime, hops: &[Hop]) -> SimTime {
+fn bill_hops(w: &mut RtWorld, mut now: SimTime, hops: &[Hop], item: Option<ItemId>) -> SimTime {
     let bytes = w.cost.control_msg_bytes;
     let cpu = w.cost.msg_cpu();
     for &(a, b) in hops {
-        match send(w, now, a, b, bytes) {
+        let tag = Payload {
+            purpose: TransferPurpose::Control,
+            task: None,
+            item,
+        };
+        match send(w, now, a, b, bytes, tag) {
             Some(arrival) => now = arrival,
             None => return now,
         }
@@ -710,6 +846,7 @@ fn live_successor(w: &RtWorld, p: usize) -> usize {
 /// on the network stays with the caller.
 fn index_resolve(
     w: &mut RtWorld,
+    now: SimTime,
     item: ItemId,
     at: usize,
     region: &dyn DynRegion,
@@ -720,6 +857,16 @@ fn index_resolve(
     };
     w.monitor.index_lookups += 1;
     w.monitor.index_lookup_hops += hops.len() as u64;
+    trace_instant(
+        w,
+        now,
+        at,
+        EventKind::IndexLookup {
+            item: item.0,
+            hops: hops.len() as u32,
+            cache_hit: hops.is_empty(),
+        },
+    );
     (pieces, hops)
 }
 
@@ -728,10 +875,25 @@ fn index_resolve(
 /// update becomes visible — the cache must never serve a pre-update owner.
 /// Counts the propagation hops in the monitor; billing stays with the
 /// caller.
-fn index_update(w: &mut RtWorld, item: ItemId, p: usize, region: Box<dyn DynRegion>) -> Vec<Hop> {
+fn index_update(
+    w: &mut RtWorld,
+    now: SimTime,
+    item: ItemId,
+    p: usize,
+    region: Box<dyn DynRegion>,
+) -> Vec<Hop> {
     w.loc_cache.bump(item);
     let hops = w.index.update_leaf(item, p, region);
     w.monitor.index_update_hops += hops.len() as u64;
+    trace_instant(
+        w,
+        now,
+        p,
+        EventKind::IndexUpdate {
+            item: item.0,
+            hops: hops.len() as u32,
+        },
+    );
     hops
 }
 
@@ -748,8 +910,18 @@ fn policy_env(w: &RtWorld) -> (usize, usize, Vec<usize>) {
 fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
     maybe_checkpoint(sim, prev.is_none());
     let phase = sim.world.phase;
-    let mut driver = sim.world.driver.take().expect("driver present");
     let now = sim.now();
+    if phase > 0 {
+        trace_instant(
+            &sim.world,
+            now,
+            0,
+            EventKind::PhaseEnd {
+                phase: phase as u32 - 1,
+            },
+        );
+    }
+    let mut driver = sim.world.driver.take().expect("driver present");
     let next = {
         let mut ctx = RtCtx {
             world: &mut sim.world,
@@ -760,6 +932,14 @@ fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
     sim.world.driver = Some(driver);
     match next {
         Some(root) => {
+            trace_instant(
+                &sim.world,
+                now,
+                0,
+                EventKind::PhaseBegin {
+                    phase: phase as u32,
+                },
+            );
             sim.world.phase += 1;
             assign_task(sim, 0, root, None);
         }
@@ -795,9 +975,19 @@ fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
             .map(|l| l.dim.checkpoint())
             .collect(),
     };
+    let now = sim.now();
     let w = &mut sim.world;
     w.monitor.resilience.checkpoints += 1;
     w.monitor.resilience.checkpoint_bytes += snap.bytes() as u64;
+    trace_instant(
+        w,
+        now,
+        0,
+        EventKind::Checkpoint {
+            phase: phase as u32,
+            bytes: snap.bytes() as u64,
+        },
+    );
     let tasks_done = w.monitor.total_tasks();
     w.resilience
         .as_mut()
@@ -835,9 +1025,19 @@ fn heartbeat_tick(sim: &mut RtSim) {
             mgr.misses[p] = 0;
         } else {
             mgr.misses[p] += 1;
-            if mgr.misses[p] >= threshold {
+            let misses = mgr.misses[p];
+            if misses >= threshold {
                 detected.push(p);
             }
+            trace_instant(
+                &sim.world,
+                now,
+                0,
+                EventKind::Suspicion {
+                    suspect: p as u32,
+                    misses,
+                },
+            );
         }
     }
     for p in detected {
@@ -893,7 +1093,7 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
         l.load = 0;
     }
     let nodes = w.localities.len();
-    match saved {
+    let grafted: u64 = match saved {
         Some(SavedCheckpoint { phase, snap }) => {
             // Pass 1: rewind every survivor, wipe every dead locality
             // (fail-stop: a crashed process loses its volatile data).
@@ -930,6 +1130,7 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
                 }
             }
             w.phase = phase;
+            restored
         }
         None => {
             // No checkpoint yet: restart the application from scratch.
@@ -944,8 +1145,19 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
             }
             w.next_item = 0;
             w.phase = 0;
+            0
         }
-    }
+    };
+    trace_instant(
+        w,
+        now,
+        0,
+        EventKind::Recovery {
+            dead: dead as u32,
+            phase: w.phase as u32,
+            restored_bytes: grafted,
+        },
+    );
     // Replay from the restored boundary (guarded: a second recovery
     // before this fires would supersede it).
     schedule_task_event(sim, now, |sim| advance_phase(sim, None));
@@ -980,8 +1192,20 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
                 .pick_target(wi.placement_hint(), at, &env);
             let target = live_target(&sim.world, target);
             let now = sim.now();
+            trace_instant(
+                &sim.world,
+                now,
+                at,
+                EventKind::TaskSpawn {
+                    task: tid.0,
+                    parent: parent.map(|(p, _)| p.0),
+                    variant: SpawnVariant::Split,
+                    target: target as u32,
+                },
+            );
             let arrival = if target != at {
-                match send(&mut sim.world, now, at, target, wi.descriptor_bytes()) {
+                let tag = Payload::task(TransferPurpose::TaskForward, tid);
+                match send(&mut sim.world, now, at, target, wi.descriptor_bytes(), tag) {
                     Some(arrival) => arrival,
                     // The task descriptor is lost (undetected dead target
                     // or exhausted retries): the phase stalls until the
@@ -1001,8 +1225,20 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
             let target = pick_process_target(sim, at, wi.as_ref(), &reqs, &env);
             let target = live_target(&sim.world, target);
             let now = sim.now();
+            trace_instant(
+                &sim.world,
+                now,
+                at,
+                EventKind::TaskSpawn {
+                    task: tid.0,
+                    parent: parent.map(|(p, _)| p.0),
+                    variant: SpawnVariant::Process,
+                    target: target as u32,
+                },
+            );
             let arrival = if target != at {
-                match send(&mut sim.world, now, at, target, wi.descriptor_bytes()) {
+                let tag = Payload::task(TransferPurpose::TaskForward, tid);
+                match send(&mut sim.world, now, at, target, wi.descriptor_bytes(), tag) {
                     Some(arrival) => arrival,
                     None => return, // lost task: stalls until recovery
                 }
@@ -1083,8 +1319,8 @@ fn common_owner<'r>(
     let now = sim.now();
     for req in iter {
         any = true;
-        let (pieces, hops) = index_resolve(&mut sim.world, req.item, at, req.region.as_ref());
-        bill_hops(&mut sim.world, now, &hops);
+        let (pieces, hops) = index_resolve(&mut sim.world, now, req.item, at, req.region.as_ref());
+        bill_hops(&mut sim.world, now, &hops, Some(req.item));
         // Coverage check: pieces must tile the region with one owner.
         let mut covered: Option<Box<dyn DynRegion>> = None;
         for (piece, host) in &pieces {
@@ -1124,16 +1360,24 @@ fn do_split(
 ) {
     let overhead = sim.world.cost.task_overhead(loc);
     let now = sim.now();
-    let (_, end) = sim.world.localities[loc].cores.acquire(now, overhead);
+    let (core, start, end) = sim.world.localities[loc].cores.acquire_indexed(now, overhead);
     sim.world.monitor.per_locality[loc].busy_ns += overhead.as_nanos();
     sim.world.monitor.per_locality[loc].tasks_split += 1;
+    trace_core_span(
+        &sim.world,
+        start,
+        end - start,
+        loc,
+        core,
+        EventKind::TaskSplit { task: tid.0 },
+    );
     schedule_task_event(sim, end, move |sim| {
         let result_bytes = wi.result_bytes();
         let SplitOutcome { children, combine } = wi.split();
         sim.world.localities[loc].load -= 1;
         if children.is_empty() {
             let value = combine(Vec::new());
-            finish_task(sim, loc, parent, value);
+            finish_task(sim, loc, tid, parent, value);
             return;
         }
         sim.world.parents.insert(
@@ -1158,6 +1402,7 @@ fn do_split(
 /// Acquire locks and stage data for a process task; parks on conflict.
 fn prepare_task(sim: &mut RtSim, tid: TaskId) {
     let loc = sim.world.inflight[&tid].loc;
+    let now = sim.now();
 
     // 1. Locks (atomic). On conflict, park and retry after completions.
     {
@@ -1166,33 +1411,43 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
         if dim.try_lock(tid, &inf.reqs).is_err() {
             sim.world.monitor.per_locality[loc].lock_conflicts += 1;
             sim.world.parked.push(tid);
+            trace_instant(&sim.world, now, loc, EventKind::TaskParked { task: tid.0 });
             return;
         }
     }
 
     // 2. Plan transfers: check feasibility first (sources unlocked),
     //    releasing our locks and parking if anything is fenced.
-    let plan = match plan_transfers(&mut sim.world, tid, loc) {
+    let plan = match plan_transfers(&mut sim.world, now, tid, loc) {
         Ok(plan) => plan,
         Err(()) => {
             sim.world.localities[loc].dim.unlock_all(tid);
             sim.world.monitor.per_locality[loc].lock_conflicts += 1;
             sim.world.parked.push(tid);
+            trace_instant(&sim.world, now, loc, EventKind::TaskParked { task: tid.0 });
             return;
         }
     };
 
     // 3. Apply the plan.
-    let now = sim.now();
     let mut pending = 0usize;
     for mv in plan {
         match mv {
             Move::FirstTouch { item, region } => {
                 sim.world.localities[loc].dim.init_owned(item, region.as_ref());
                 let owned = sim.world.localities[loc].dim.owned_region(item);
-                let hops = index_update(&mut sim.world, item, loc, owned);
-                bill_hops(&mut sim.world, now, &hops);
+                let hops = index_update(&mut sim.world, now, item, loc, owned);
+                bill_hops(&mut sim.world, now, &hops, Some(item));
                 sim.world.monitor.per_locality[loc].first_touch += 1;
+                trace_instant(
+                    &sim.world,
+                    now,
+                    loc,
+                    EventKind::FirstTouch {
+                        item: item.0,
+                        task: tid.0,
+                    },
+                );
             }
             Move::Migrate { item, region, src } => {
                 // `pending` is committed before any send: a transfer that
@@ -1203,25 +1458,27 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                 // mutated, so no data leaves the cluster with the failed
                 // message.
                 let ctrl = sim.world.cost.control_msg_bytes;
-                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl) else {
+                let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
+                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl, req_tag) else {
                     continue;
                 };
                 let bytes = sim.world.localities[src]
                     .dim
                     .export_migration(item, region.as_ref());
                 let src_owned = sim.world.localities[src].dim.owned_region(item);
-                let hops = index_update(&mut sim.world, item, src, src_owned);
-                bill_hops(&mut sim.world, now, &hops);
-                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len()) else {
+                let hops = index_update(&mut sim.world, now, item, src, src_owned);
+                bill_hops(&mut sim.world, now, &hops, Some(item));
+                let tag = Payload::data(TransferPurpose::Migrate, Some(tid), item);
+                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len(), tag) else {
                     continue;
                 };
                 schedule_task_event(sim, arr, move |sim| {
                     let loc2 = sim.world.inflight[&tid].loc;
                     sim.world.localities[loc2].dim.import_owned(item, &bytes);
                     let owned = sim.world.localities[loc2].dim.owned_region(item);
-                    let hops = index_update(&mut sim.world, item, loc2, owned);
                     let t = sim.now();
-                    bill_hops(&mut sim.world, t, &hops);
+                    let hops = index_update(&mut sim.world, t, item, loc2, owned);
+                    bill_hops(&mut sim.world, t, &hops, Some(item));
                     sim.world.monitor.per_locality[loc2].migrations_in += 1;
                     transfer_done(sim, tid);
                 });
@@ -1229,7 +1486,8 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
             Move::Replicate { item, region, src } => {
                 pending += 1;
                 let ctrl = sim.world.cost.control_msg_bytes;
-                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl) else {
+                let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
+                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl, req_tag) else {
                     continue;
                 };
                 let bytes = sim.world.localities[src].dim.export_replica(
@@ -1238,7 +1496,8 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                     loc,
                     tid,
                 );
-                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len()) else {
+                let tag = Payload::data(TransferPurpose::Replicate, Some(tid), item);
+                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len(), tag) else {
                     continue;
                 };
                 let region2 = region.clone_box();
@@ -1282,7 +1541,12 @@ enum Move {
 
 /// Compute the data movements needed to satisfy `tid`'s requirements at
 /// `loc`. Errors when a source is fenced by locks or exports.
-fn plan_transfers(w: &mut RtWorld, tid: TaskId, loc: usize) -> Result<Vec<Move>, ()> {
+fn plan_transfers(
+    w: &mut RtWorld,
+    now: SimTime,
+    tid: TaskId,
+    loc: usize,
+) -> Result<Vec<Move>, ()> {
     let mut plan = Vec::new();
     // Collect requirement facts first to appease the borrow checker.
     let reqs: Vec<(ItemId, Box<dyn DynRegion>, AccessMode)> = w.inflight[&tid]
@@ -1298,7 +1562,7 @@ fn plan_transfers(w: &mut RtWorld, tid: TaskId, loc: usize) -> Result<Vec<Move>,
                 if missing.is_empty_dyn() {
                     continue;
                 }
-                let (pieces, _hops) = index_resolve(w, item, loc, missing.as_ref());
+                let (pieces, _hops) = index_resolve(w, now, item, loc, missing.as_ref());
                 let mut found: Option<Box<dyn DynRegion>> = None;
                 for (piece, src) in pieces {
                     if src == loc {
@@ -1343,7 +1607,7 @@ fn plan_transfers(w: &mut RtWorld, tid: TaskId, loc: usize) -> Result<Vec<Move>,
                 if missing.is_empty_dyn() {
                     continue;
                 }
-                let (pieces, _hops) = index_resolve(w, item, loc, missing.as_ref());
+                let (pieces, _hops) = index_resolve(w, now, item, loc, missing.as_ref());
                 let mut found: Option<Box<dyn DynRegion>> = None;
                 for (piece, src) in pieces {
                     if src == loc {
@@ -1423,9 +1687,17 @@ fn start_execution(sim: &mut RtSim, tid: TaskId) {
     let charged = SimDuration::from_nanos_f64(done.as_nanos() as f64 / speed);
     let dur = declared + charged + sim.world.cost.task_overhead(loc);
     let now = sim.now();
-    let (_, end) = sim.world.localities[loc].cores.acquire(now, dur);
+    let (core, start, end) = sim.world.localities[loc].cores.acquire_indexed(now, dur);
     sim.world.monitor.per_locality[loc].busy_ns += dur.as_nanos();
     sim.world.monitor.task_durations.record(dur.as_nanos());
+    trace_core_span(
+        &sim.world,
+        start,
+        end - start,
+        loc,
+        core,
+        EventKind::TaskExec { task: tid.0 },
+    );
     schedule_task_event(sim, end, move |sim| finish_execution(sim, tid));
 }
 
@@ -1456,7 +1728,8 @@ fn finish_execution(sim: &mut RtSim, tid: TaskId) {
         let bytes = sim.world.cost.control_msg_bytes;
         // A lost release leaves the owner's export fence standing; any
         // writer it blocks stays parked until recovery clears the slate.
-        let Some(arr) = send(&mut sim.world, now, loc, owner, bytes) else {
+        let tag = Payload::data(TransferPurpose::Control, Some(tid), item);
+        let Some(arr) = send(&mut sim.world, now, loc, owner, bytes, tag) else {
             continue;
         };
         schedule_task_event(sim, arr, move |sim| {
@@ -1468,11 +1741,11 @@ fn finish_execution(sim: &mut RtSim, tid: TaskId) {
     sim.world.localities[loc].load -= 1;
 
     match done {
-        Done::Value(v) => finish_task(sim, loc, parent, v),
+        Done::Value(v) => finish_task(sim, loc, tid, parent, v),
         Done::Children(SplitOutcome { children, combine }) => {
             if children.is_empty() {
                 let v = combine(Vec::new());
-                finish_task(sim, loc, parent, v);
+                finish_task(sim, loc, tid, parent, v);
                 return;
             }
             sim.world.parents.insert(
@@ -1499,9 +1772,19 @@ fn finish_execution(sim: &mut RtSim, tid: TaskId) {
 fn finish_task(
     sim: &mut RtSim,
     loc: usize,
+    tid: TaskId,
     parent: Option<(TaskId, usize)>,
     value: TaskValue,
 ) {
+    trace_instant(
+        &sim.world,
+        sim.now(),
+        loc,
+        EventKind::TaskEnd {
+            task: tid.0,
+            parent: parent.map(|(p, _)| p.0),
+        },
+    );
     match parent {
         Some((ptid, idx)) => {
             let p_loc = sim.world.parents[&ptid].loc;
@@ -1510,7 +1793,8 @@ fn finish_task(
                 let now = sim.now();
                 // A lost result message orphans the parent; the phase
                 // stalls until the failure detector triggers recovery.
-                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes) else {
+                let tag = Payload::task(TransferPurpose::Result, tid);
+                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes, tag) else {
                     return;
                 };
                 schedule_task_event(sim, arr, move |sim| child_done(sim, ptid, idx, value));
@@ -1548,6 +1832,15 @@ fn child_done(sim: &mut RtSim, ptid: TaskId, idx: usize, value: TaskValue) {
         .map(|r| r.expect("all children reported"))
         .collect();
     let combined = combine(values);
+    trace_instant(
+        &sim.world,
+        sim.now(),
+        loc,
+        EventKind::TaskEnd {
+            task: ptid.0,
+            parent: parent.map(|(p, _)| p.0),
+        },
+    );
     // Reinstate parent slot for finish_task's lookup.
     match parent {
         Some((gp, gidx)) => {
@@ -1556,7 +1849,8 @@ fn child_done(sim: &mut RtSim, ptid: TaskId, idx: usize, value: TaskValue) {
             let bytes = sim.world.parents[&gp].result_bytes;
             if p_loc != loc {
                 let now = sim.now();
-                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes) else {
+                let tag = Payload::task(TransferPurpose::Result, ptid);
+                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes, tag) else {
                     return; // lost combined result: stalls until recovery
                 };
                 schedule_task_event(sim, arr, move |sim| child_done(sim, gp, gidx, combined));

@@ -134,6 +134,45 @@ impl LogHistogram {
         }
         u64::MAX
     }
+
+    /// Median (upper bucket bound), 0 when empty.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile (upper bucket bound), 0 when empty.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile (upper bucket bound), 0 when empty.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Merge another histogram into this one (bucket-wise sum plus tally
+    /// merge), e.g. to aggregate per-locality distributions cluster-wide.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.tally.merge(&other.tally);
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50≤{} p90≤{} p99≤{} max={}",
+            self.tally.count(),
+            self.tally.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.tally.max().unwrap_or(0)
+        )
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +221,59 @@ mod tests {
 
     #[test]
     fn percentile_of_empty_is_zero() {
-        assert_eq!(LogHistogram::new().percentile(99.0), 0);
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // A value with highest set bit i lands in bucket i, whose reported
+        // upper bound is 2^(i+1) - 1. Probe each boundary pair.
+        for i in 0..20u32 {
+            let lo = 1u64 << i; // first value of bucket i
+            let hi = (2u64 << i) - 1; // last value of bucket i
+            for v in [lo, hi] {
+                let mut h = LogHistogram::new();
+                h.record(v);
+                assert_eq!(h.percentile(100.0), hi, "value {v} should report bucket {i}'s bound");
+            }
+        }
+        // Zero shares bucket 0 with value 1.
+        let mut h = LogHistogram::new();
+        h.record(0);
+        assert_eq!(h.percentile(100.0), 1);
+    }
+
+    #[test]
+    fn percentiles_split_a_bimodal_distribution() {
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 6 (64..127)
+        }
+        for _ in 0..10 {
+            h.record(100_000); // bucket 16 (65536..131071)
+        }
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p90(), 127);
+        assert_eq!(h.p99(), 131_071);
+    }
+
+    #[test]
+    fn histogram_merge_sums_buckets() {
+        let mut a = LogHistogram::new();
+        a.record(10);
+        a.record(10);
+        let mut b = LogHistogram::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.tally().count(), 3);
+        assert_eq!(a.tally().max(), Some(1_000_000));
+        assert_eq!(a.p50(), 15); // bucket of 10
+        assert_eq!(a.p99(), a.percentile(100.0));
+        let shown = format!("{a}");
+        assert!(shown.contains("n=3"), "display carries the count: {shown}");
     }
 }

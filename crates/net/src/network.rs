@@ -20,6 +20,7 @@
 //! AllScale runtime and the MPI baseline price traffic identically.
 
 use allscale_des::{SimDuration, SimTime, Tally};
+use allscale_trace::{EventKind, TraceEvent, TraceSink};
 
 use crate::fault::{FaultPlan, RetryPolicy, TransferFault, Verdict};
 use crate::topology::{NodeId, Topology};
@@ -117,6 +118,7 @@ pub struct Network<T: Topology> {
     rx_busy: Vec<SimTime>,
     stats: TrafficStats,
     faults: Option<FaultPlan>,
+    trace: TraceSink,
 }
 
 impl<T: Topology> Network<T> {
@@ -130,6 +132,7 @@ impl<T: Topology> Network<T> {
             rx_busy: vec![SimTime::ZERO; n],
             stats: TrafficStats::default(),
             faults: None,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -137,6 +140,14 @@ impl<T: Topology> Network<T> {
     /// APIs only ([`Network::transfer`] stays a reliable fabric).
     pub fn install_faults(&mut self, plan: FaultPlan) {
         self.faults = Some(plan);
+    }
+
+    /// Install a tracing sink; the network then records fault-layer
+    /// instants (drops, injected delays, retries) as they happen. Transfer
+    /// spans themselves are recorded by the caller, which knows *why* each
+    /// message was sent.
+    pub fn install_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The installed fault plan, if any.
@@ -215,6 +226,17 @@ impl<T: Topology> Network<T> {
             Verdict::Deliver => Ok(self.transfer(now, src, dst, bytes)),
             Verdict::Delay(extra) => {
                 self.stats.delayed += 1;
+                self.trace.record(|| {
+                    TraceEvent::instant(
+                        now.as_nanos(),
+                        src as u32,
+                        EventKind::NetDelay {
+                            src: src as u32,
+                            dst: dst as u32,
+                            extra_ns: extra.as_nanos(),
+                        },
+                    )
+                });
                 Ok(self.transfer(now, src, dst, bytes) + extra)
             }
             Verdict::Fault(TransferFault::Dropped) => {
@@ -223,6 +245,17 @@ impl<T: Topology> Network<T> {
                 let depart_start = self.tx_busy[src].max(now);
                 self.tx_busy[src] = depart_start + ser;
                 self.stats.dropped += 1;
+                self.trace.record(|| {
+                    TraceEvent::instant(
+                        now.as_nanos(),
+                        src as u32,
+                        EventKind::NetDrop {
+                            src: src as u32,
+                            dst: dst as u32,
+                            bytes: bytes as u64,
+                        },
+                    )
+                });
                 Err(TransferFault::Dropped)
             }
             Verdict::Fault(fault) => {
@@ -259,7 +292,19 @@ impl<T: Topology> Network<T> {
                     let wait = policy.backoff(attempt);
                     self.stats.retries += 1;
                     self.stats.backoff_ns += wait.as_nanos();
-                    t = t + wait;
+                    t += wait;
+                    self.trace.record(|| {
+                        TraceEvent::instant(
+                            t.as_nanos(),
+                            src as u32,
+                            EventKind::NetRetry {
+                                src: src as u32,
+                                dst: dst as u32,
+                                attempt,
+                                backoff_ns: wait.as_nanos(),
+                            },
+                        )
+                    });
                     attempt += 1;
                 }
                 Err(fault) => return Err(fault),
@@ -426,6 +471,29 @@ mod tests {
         let arrival = n.try_transfer(t(0), 0, 1, 1_000).unwrap();
         assert_eq!(arrival.as_nanos(), clean.as_nanos() + 5_000);
         assert_eq!(n.stats().delayed, 1);
+    }
+
+    #[test]
+    fn fault_instants_reach_an_installed_trace() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        use allscale_trace::{TraceConfig, TraceSink};
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(11).with_drop_rate(1.0));
+        let sink = TraceSink::enabled(2, &TraceConfig::default());
+        n.install_trace(sink.clone());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let _ = n.transfer_with_retry(t(0), 0, 1, 256, &policy);
+        let trace = sink.take().unwrap();
+        let drops = trace.events.iter().filter(|e| e.kind.name() == "drop").count();
+        let retries = trace.events.iter().filter(|e| e.kind.name() == "retry").count();
+        assert_eq!(drops, 3, "every dropped attempt is recorded");
+        assert_eq!(retries, 2, "every re-send is recorded");
+        // Retry instants carry the simulated backoff, so they sit strictly
+        // after the drop they mask.
+        assert!(trace.events.iter().all(|e| e.loc == 0));
     }
 
     #[test]

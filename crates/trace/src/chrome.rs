@@ -1,0 +1,383 @@
+//! Chrome trace-event JSON export (the format `chrome://tracing` and
+//! Perfetto load).
+//!
+//! Layout: one *process* per locality (`pid` = locality), one *thread*
+//! per compute core (`tid` = core index) plus a `runtime` track (`tid` =
+//! [`RUNTIME_TID`]) carrying communication, index and lifecycle events.
+//! Task spans become complete (`"X"`) events, instants become `"i"`
+//! events, and two families of flow arrows are emitted: `spawn → execute`
+//! for every task (flow id `t<task>`) and `send → receive` for every
+//! transfer (flow id `x<event-id>`).
+//!
+//! The output is built with deterministic integer formatting only — the
+//! same trace always serializes to the same bytes, which the determinism
+//! test relies on.
+
+use std::fmt::Write;
+
+use crate::event::{EventKind, TraceEvent};
+use crate::sink::Trace;
+
+/// The `tid` of each locality's communication/runtime track.
+pub const RUNTIME_TID: i64 = 1000;
+
+/// Microsecond timestamp with fixed 3-decimal nanosecond fraction.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn tid_of(ev: &TraceEvent) -> i64 {
+    if ev.core >= 0 {
+        ev.core as i64
+    } else {
+        RUNTIME_TID
+    }
+}
+
+/// Append one JSON event object (no trailing comma).
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    out: &mut String,
+    name: &str,
+    cat: &str,
+    ph: &str,
+    ts_ns: u64,
+    pid: u32,
+    tid: i64,
+    extra: &str,
+) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}{extra}}}",
+        ts = us(ts_ns),
+    );
+}
+
+fn args_of(ev: &TraceEvent) -> String {
+    let mut a = String::new();
+    let mut put = |k: &str, v: String| {
+        if !a.is_empty() {
+            a.push(',');
+        }
+        let _ = write!(a, "\"{k}\":{v}");
+    };
+    put("epoch", ev.epoch.to_string());
+    match ev.kind {
+        EventKind::TaskSpawn {
+            task,
+            parent,
+            variant,
+            target,
+        } => {
+            put("task", task.to_string());
+            if let Some(p) = parent {
+                put("parent", p.to_string());
+            }
+            put(
+                "variant",
+                format!("\"{}\"", if variant == crate::SpawnVariant::Split { "split" } else { "process" }),
+            );
+            put("target", target.to_string());
+        }
+        EventKind::TaskSplit { task }
+        | EventKind::TaskExec { task }
+        | EventKind::TaskParked { task } => put("task", task.to_string()),
+        EventKind::TaskEnd { task, parent } => {
+            put("task", task.to_string());
+            if let Some(p) = parent {
+                put("parent", p.to_string());
+            }
+        }
+        EventKind::ItemCreate { item } | EventKind::ItemDestroy { item } => {
+            put("item", item.to_string())
+        }
+        EventKind::FirstTouch { item, task } => {
+            put("item", item.to_string());
+            put("task", task.to_string());
+        }
+        EventKind::Transfer {
+            src,
+            dst,
+            bytes,
+            task,
+            item,
+            ..
+        } => {
+            put("src", src.to_string());
+            put("dst", dst.to_string());
+            put("bytes", bytes.to_string());
+            if let Some(t) = task {
+                put("task", t.to_string());
+            }
+            if let Some(i) = item {
+                put("item", i.to_string());
+            }
+        }
+        EventKind::TransferLost {
+            src,
+            dst,
+            bytes,
+            task,
+            ..
+        } => {
+            put("src", src.to_string());
+            put("dst", dst.to_string());
+            put("bytes", bytes.to_string());
+            if let Some(t) = task {
+                put("task", t.to_string());
+            }
+        }
+        EventKind::IndexLookup {
+            item,
+            hops,
+            cache_hit,
+        } => {
+            put("item", item.to_string());
+            put("hops", hops.to_string());
+            put("cache_hit", cache_hit.to_string());
+        }
+        EventKind::IndexUpdate { item, hops } => {
+            put("item", item.to_string());
+            put("hops", hops.to_string());
+        }
+        EventKind::NetDrop { src, dst, bytes } => {
+            put("src", src.to_string());
+            put("dst", dst.to_string());
+            put("bytes", bytes.to_string());
+        }
+        EventKind::NetDelay { src, dst, extra_ns } => {
+            put("src", src.to_string());
+            put("dst", dst.to_string());
+            put("extra_ns", extra_ns.to_string());
+        }
+        EventKind::NetRetry {
+            src,
+            dst,
+            attempt,
+            backoff_ns,
+        } => {
+            put("src", src.to_string());
+            put("dst", dst.to_string());
+            put("attempt", attempt.to_string());
+            put("backoff_ns", backoff_ns.to_string());
+        }
+        EventKind::Checkpoint { phase, bytes } => {
+            put("phase", phase.to_string());
+            put("bytes", bytes.to_string());
+        }
+        EventKind::Suspicion { suspect, misses } => {
+            put("suspect", suspect.to_string());
+            put("misses", misses.to_string());
+        }
+        EventKind::Recovery {
+            dead,
+            phase,
+            restored_bytes,
+        } => {
+            put("dead", dead.to_string());
+            put("phase", phase.to_string());
+            put("restored_bytes", restored_bytes.to_string());
+        }
+        EventKind::PhaseBegin { phase } | EventKind::PhaseEnd { phase } => {
+            put("phase", phase.to_string())
+        }
+    }
+    format!(",\"args\":{{{a}}}")
+}
+
+impl Trace {
+    /// Serialize to Chrome trace-event JSON (an object with a
+    /// `traceEvents` array), loadable in Perfetto / `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.events.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+        };
+
+        // Track discovery: cores used per locality (for thread metadata).
+        let mut max_core = vec![-1i32; self.nodes];
+        let mut spawned: Vec<u64> = Vec::new();
+        let mut executed: Vec<u64> = Vec::new();
+        for ev in &self.events {
+            if (ev.loc as usize) < self.nodes && ev.core > max_core[ev.loc as usize] {
+                max_core[ev.loc as usize] = ev.core;
+            }
+            match ev.kind {
+                EventKind::TaskSpawn { task, .. } => spawned.push(task),
+                EventKind::TaskExec { task, .. } => executed.push(task),
+                _ => {}
+            }
+        }
+        spawned.sort_unstable();
+        executed.sort_unstable();
+
+        // Metadata: process and thread names.
+        for (loc, &top_core) in max_core.iter().enumerate() {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{loc},\"tid\":0,\"args\":{{\"name\":\"locality {loc}\"}}}}",
+            );
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{loc},\"tid\":0,\"args\":{{\"sort_index\":{loc}}}}}",
+            );
+            for core in 0..=top_core {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{loc},\"tid\":{core},\"args\":{{\"name\":\"core {core}\"}}}}",
+                );
+            }
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{loc},\"tid\":{RUNTIME_TID},\"args\":{{\"name\":\"runtime\"}}}}",
+            );
+        }
+
+        for ev in &self.events {
+            let name = ev.kind.name();
+            let cat = ev.kind.category();
+            let args = args_of(ev);
+            match ev.kind {
+                // Transfers: a zero-duration send slice at the source, the
+                // flight span at the destination, and a flow arrow.
+                EventKind::Transfer { src, dst, .. } => {
+                    sep(&mut out);
+                    let extra = format!(",\"dur\":0{args}");
+                    emit(&mut out, "send", cat, "X", ev.ts_ns, src, RUNTIME_TID, &extra);
+                    sep(&mut out);
+                    let extra = format!(",\"dur\":{}{args}", us(ev.dur_ns));
+                    emit(&mut out, name, cat, "X", ev.ts_ns, dst, RUNTIME_TID, &extra);
+                    sep(&mut out);
+                    let extra = format!(",\"id\":\"x{}\"", ev.id);
+                    emit(&mut out, "wire", "flow-net", "s", ev.ts_ns, src, RUNTIME_TID, &extra);
+                    sep(&mut out);
+                    let extra = format!(",\"bp\":\"e\",\"id\":\"x{}\"", ev.id);
+                    emit(&mut out, "wire", "flow-net", "f", ev.end_ns(), dst, RUNTIME_TID, &extra);
+                }
+                // Spawns: a zero-duration slice (so the flow anchors) plus
+                // the spawn→execute flow start when the task ran.
+                EventKind::TaskSpawn { task, .. } => {
+                    sep(&mut out);
+                    let extra = format!(",\"dur\":0{args}");
+                    emit(&mut out, name, cat, "X", ev.ts_ns, ev.loc, tid_of(ev), &extra);
+                    if executed.binary_search(&task).is_ok() {
+                        sep(&mut out);
+                        let extra = format!(",\"id\":\"t{task}\"");
+                        emit(&mut out, "task", "flow-task", "s", ev.ts_ns, ev.loc, tid_of(ev), &extra);
+                    }
+                }
+                EventKind::TaskExec { task, .. } => {
+                    sep(&mut out);
+                    let extra = format!(",\"dur\":{}{args}", us(ev.dur_ns));
+                    emit(&mut out, name, cat, "X", ev.ts_ns, ev.loc, tid_of(ev), &extra);
+                    if spawned.binary_search(&task).is_ok() {
+                        sep(&mut out);
+                        let extra = format!(",\"bp\":\"e\",\"id\":\"t{task}\"");
+                        emit(&mut out, "task", "flow-task", "f", ev.ts_ns, ev.loc, tid_of(ev), &extra);
+                    }
+                }
+                _ if ev.dur_ns > 0 => {
+                    sep(&mut out);
+                    let extra = format!(",\"dur\":{}{args}", us(ev.dur_ns));
+                    emit(&mut out, name, cat, "X", ev.ts_ns, ev.loc, tid_of(ev), &extra);
+                }
+                _ => {
+                    sep(&mut out);
+                    let extra = format!(",\"s\":\"t\"{args}");
+                    emit(&mut out, name, cat, "i", ev.ts_ns, ev.loc, tid_of(ev), &extra);
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TransferPurpose;
+    use crate::sink::{TraceConfig, TraceSink};
+
+    fn sample_trace() -> Trace {
+        let sink = TraceSink::enabled(2, &TraceConfig::default());
+        sink.record(|| {
+            TraceEvent::instant(
+                0,
+                0,
+                EventKind::TaskSpawn {
+                    task: 1,
+                    parent: None,
+                    variant: crate::SpawnVariant::Process,
+                    target: 1,
+                },
+            )
+        });
+        sink.record(|| {
+            TraceEvent::span(
+                100,
+                400,
+                1,
+                EventKind::Transfer {
+                    purpose: TransferPurpose::TaskForward,
+                    src: 0,
+                    dst: 1,
+                    bytes: 64,
+                    task: Some(1),
+                    item: None,
+                },
+            )
+        });
+        sink.record(|| TraceEvent::span(500, 2000, 1, EventKind::TaskExec { task: 1 }).on_core(0));
+        sink.record(|| TraceEvent::instant(2500, 1, EventKind::TaskEnd { task: 1, parent: None }));
+        sink.take().unwrap()
+    }
+
+    #[test]
+    fn export_is_wellformed_and_deterministic() {
+        let t = sample_trace();
+        let a = t.to_chrome_json();
+        let b = t.to_chrome_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(a.ends_with("]}"));
+        // Balanced braces is a cheap well-formedness smoke test; the CI
+        // job runs the real parser (jq) over the example's export.
+        let open = a.matches('{').count();
+        let close = a.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn export_contains_tracks_spans_and_flows() {
+        let json = sample_trace().to_chrome_json();
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"core 0\""));
+        assert!(json.contains("\"name\":\"runtime\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        // Task flow links spawn and exec by task id.
+        assert!(json.contains("\"id\":\"t1\""));
+        // Microsecond timestamps carry the ns fraction.
+        assert!(json.contains("\"ts\":0.100"));
+    }
+
+    #[test]
+    fn timestamps_format_as_fixed_point_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1000), "1.000");
+        assert_eq!(us(1234567), "1234.567");
+    }
+}

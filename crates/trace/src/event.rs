@@ -1,0 +1,343 @@
+//! The event taxonomy: everything the runtime can record, as plain data.
+//!
+//! An event is either an *instant* (`dur_ns == 0`) or a *span* (`dur_ns >
+//! 0`) on the simulated clock, attributed to one locality and optionally
+//! one core of that locality. Payloads are small `Copy` values — task,
+//! item and locality identifiers, byte counts, hop counts — so recording
+//! an event never chases pointers or allocates.
+
+/// Why a message crossed the network (semantic label on transfer spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferPurpose {
+    /// A task descriptor forwarded to its execution locality.
+    TaskForward,
+    /// An ownership migration of a data-item region.
+    Migrate,
+    /// A read replica of a data-item region.
+    Replicate,
+    /// A runtime-initiated persistent broadcast replica.
+    Broadcast,
+    /// A task result travelling to its parent.
+    Result,
+    /// A control message (index hops, replica releases, requests).
+    Control,
+}
+
+impl TransferPurpose {
+    /// Short name used in exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransferPurpose::TaskForward => "forward",
+            TransferPurpose::Migrate => "migrate",
+            TransferPurpose::Replicate => "replicate",
+            TransferPurpose::Broadcast => "broadcast",
+            TransferPurpose::Result => "result",
+            TransferPurpose::Control => "control",
+        }
+    }
+}
+
+/// Which variant the scheduler picked for a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnVariant {
+    /// Decomposition (split) variant.
+    Split,
+    /// Leaf execution (process) variant.
+    Process,
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    // ------------------------------------------------------ task lifecycle
+    /// A task was created and assigned by Algorithm 2 (instant, at the
+    /// spawning locality).
+    TaskSpawn {
+        /// The new task.
+        task: u64,
+        /// Its parent task, if any.
+        parent: Option<u64>,
+        /// The variant the policy picked.
+        variant: SpawnVariant,
+        /// The locality the task was sent to.
+        target: u32,
+    },
+    /// A split-variant task decomposing into children (span: the split
+    /// overhead on a core).
+    TaskSplit {
+        /// The splitting task.
+        task: u64,
+    },
+    /// A process-variant task body occupying a core (span).
+    TaskExec {
+        /// The executing task.
+        task: u64,
+    },
+    /// A task (leaf or combined parent) completed (instant).
+    TaskEnd {
+        /// The finished task.
+        task: u64,
+        /// Its parent task, if any.
+        parent: Option<u64>,
+    },
+    /// A task was parked on a lock conflict (instant).
+    TaskParked {
+        /// The parked task.
+        task: u64,
+    },
+    // ------------------------------------------------------ data-item ops
+    /// A data item was registered cluster-wide (instant).
+    ItemCreate {
+        /// The new item.
+        item: u32,
+    },
+    /// A data item was destroyed everywhere (instant).
+    ItemDestroy {
+        /// The destroyed item.
+        item: u32,
+    },
+    /// A region was first-touch allocated (instant).
+    FirstTouch {
+        /// The touched item.
+        item: u32,
+        /// The task whose requirement triggered the allocation.
+        task: u64,
+    },
+    // ---------------------------------------------------------- transfers
+    /// A message delivered over the simulated network (span from send to
+    /// full arrival, attributed to the *destination* locality).
+    Transfer {
+        /// Why the message was sent.
+        purpose: TransferPurpose,
+        /// Sending locality.
+        src: u32,
+        /// Receiving locality.
+        dst: u32,
+        /// Payload size.
+        bytes: u64,
+        /// The task this transfer feeds (forward/migrate/replicate: the
+        /// waiting task; result: the finished child).
+        task: Option<u64>,
+        /// The data item moved, if any.
+        item: Option<u32>,
+    },
+    /// A message definitively lost (dead endpoint or retries exhausted;
+    /// instant at the send time).
+    TransferLost {
+        /// Why the message was sent.
+        purpose: TransferPurpose,
+        /// Sending locality.
+        src: u32,
+        /// Intended receiving locality.
+        dst: u32,
+        /// Payload size.
+        bytes: u64,
+        /// The task stranded by the loss, if any.
+        task: Option<u64>,
+    },
+    // -------------------------------------------------------------- index
+    /// A data-location resolution (Algorithm 1; instant at the asking
+    /// locality).
+    IndexLookup {
+        /// The resolved item.
+        item: u32,
+        /// Control-message hops the traversal cost.
+        hops: u32,
+        /// Whether the location cache answered without hops.
+        cache_hit: bool,
+    },
+    /// An index leaf update with its upward propagation (instant).
+    IndexUpdate {
+        /// The updated item.
+        item: u32,
+        /// Propagation hops.
+        hops: u32,
+    },
+    // ----------------------------------------------------- network faults
+    /// A transfer attempt dropped by fault injection (instant, recorded by
+    /// the network layer).
+    NetDrop {
+        /// Sending locality.
+        src: u32,
+        /// Receiving locality.
+        dst: u32,
+        /// Payload size of the lost attempt.
+        bytes: u64,
+    },
+    /// A transfer delivered late because of an injected delay (instant).
+    NetDelay {
+        /// Sending locality.
+        src: u32,
+        /// Receiving locality.
+        dst: u32,
+        /// Injected extra latency.
+        extra_ns: u64,
+    },
+    /// A retry attempt after a dropped transfer (instant at the moment the
+    /// sender re-sends, backoff already elapsed).
+    NetRetry {
+        /// Sending locality.
+        src: u32,
+        /// Receiving locality.
+        dst: u32,
+        /// 1-based attempt number of the retry.
+        attempt: u32,
+        /// Simulated nanoseconds of timeout + backoff before this retry.
+        backoff_ns: u64,
+    },
+    // --------------------------------------------------------- resilience
+    /// A cluster-wide checkpoint was taken (instant, locality 0).
+    Checkpoint {
+        /// Phase boundary at which the snapshot was taken.
+        phase: u32,
+        /// Serialized size of the snapshot.
+        bytes: u64,
+    },
+    /// The failure detector counted a missed heartbeat (instant).
+    Suspicion {
+        /// The suspected locality.
+        suspect: u32,
+        /// Consecutive misses so far.
+        misses: u32,
+    },
+    /// A locality was declared dead and the cluster recovered (instant,
+    /// locality 0).
+    Recovery {
+        /// The locality declared dead.
+        dead: u32,
+        /// The phase the run was rewound to.
+        phase: u32,
+        /// Checkpointed bytes grafted onto the heir.
+        restored_bytes: u64,
+    },
+    // -------------------------------------------------------- application
+    /// A phase's root work item was requested from the driver (instant,
+    /// locality 0).
+    PhaseBegin {
+        /// 0-based phase index.
+        phase: u32,
+    },
+    /// A phase's task tree fully completed (instant, locality 0).
+    PhaseEnd {
+        /// 0-based phase index.
+        phase: u32,
+    },
+}
+
+impl EventKind {
+    /// Short display/export name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskSpawn { .. } => "spawn",
+            EventKind::TaskSplit { .. } => "split",
+            EventKind::TaskExec { .. } => "exec",
+            EventKind::TaskEnd { .. } => "end",
+            EventKind::TaskParked { .. } => "parked",
+            EventKind::ItemCreate { .. } => "create",
+            EventKind::ItemDestroy { .. } => "destroy",
+            EventKind::FirstTouch { .. } => "first-touch",
+            EventKind::Transfer { purpose, .. } => purpose.name(),
+            EventKind::TransferLost { .. } => "lost",
+            EventKind::IndexLookup { .. } => "lookup",
+            EventKind::IndexUpdate { .. } => "update",
+            EventKind::NetDrop { .. } => "drop",
+            EventKind::NetDelay { .. } => "delay",
+            EventKind::NetRetry { .. } => "retry",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Suspicion { .. } => "suspicion",
+            EventKind::Recovery { .. } => "recovery",
+            EventKind::PhaseBegin { .. } => "phase-begin",
+            EventKind::PhaseEnd { .. } => "phase-end",
+        }
+    }
+
+    /// Export category (one per subsystem; Perfetto filters on these).
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::TaskSpawn { .. }
+            | EventKind::TaskSplit { .. }
+            | EventKind::TaskExec { .. }
+            | EventKind::TaskEnd { .. }
+            | EventKind::TaskParked { .. } => "task",
+            EventKind::ItemCreate { .. }
+            | EventKind::ItemDestroy { .. }
+            | EventKind::FirstTouch { .. } => "data",
+            EventKind::Transfer { .. } | EventKind::TransferLost { .. } => "net",
+            EventKind::IndexLookup { .. } | EventKind::IndexUpdate { .. } => "index",
+            EventKind::NetDrop { .. }
+            | EventKind::NetDelay { .. }
+            | EventKind::NetRetry { .. } => "fault",
+            EventKind::Checkpoint { .. }
+            | EventKind::Suspicion { .. }
+            | EventKind::Recovery { .. } => "resilience",
+            EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => "phase",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Globally monotonic id, assigned by the sink at record time. Doubles
+    /// as the tie-breaker that makes exports byte-stable and as the flow-id
+    /// namespace for transfer arrows.
+    pub id: u64,
+    /// Begin time (spans) or occurrence time (instants), simulated ns.
+    pub ts_ns: u64,
+    /// Span duration in ns; 0 marks an instant.
+    pub dur_ns: u64,
+    /// The locality the event is attributed to.
+    pub loc: u32,
+    /// Core index within the locality, or -1 for the communication /
+    /// runtime track.
+    pub core: i32,
+    /// Recovery epoch the event was recorded in (0 before any recovery).
+    pub epoch: u32,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// An instant event on `loc`'s runtime track.
+    pub fn instant(ts_ns: u64, loc: u32, kind: EventKind) -> Self {
+        TraceEvent {
+            id: 0,
+            ts_ns,
+            dur_ns: 0,
+            loc,
+            core: -1,
+            epoch: 0,
+            kind,
+        }
+    }
+
+    /// A span `[ts_ns, ts_ns + dur_ns]` on `loc`'s runtime track.
+    pub fn span(ts_ns: u64, dur_ns: u64, loc: u32, kind: EventKind) -> Self {
+        TraceEvent {
+            id: 0,
+            ts_ns,
+            dur_ns,
+            loc,
+            core: -1,
+            epoch: 0,
+            kind,
+        }
+    }
+
+    /// Attribute the event to a specific core of its locality.
+    pub fn on_core(mut self, core: usize) -> Self {
+        self.core = core as i32;
+        self
+    }
+
+    /// Stamp the recovery epoch.
+    pub fn in_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch as u32;
+        self
+    }
+
+    /// End time of the event (== `ts_ns` for instants).
+    pub fn end_ns(&self) -> u64 {
+        self.ts_ns + self.dur_ns
+    }
+}

@@ -1,0 +1,93 @@
+//! Tracing invariants, run end-to-end through the stencil application:
+//!
+//! 1. **Determinism** — the simulation is deterministic, so two runs of
+//!    the same configuration produce byte-identical Chrome exports.
+//! 2. **Zero perturbation** — tracing is record-only: a traced run and an
+//!    untraced run report identical `RunReport`s (finish time, counters,
+//!    histograms), differing only in `report.trace`.
+//! 3. **Aggregate consistency** — the Monitor's cluster-wide aggregates
+//!    equal the sums of its per-locality counters after a multi-phase run.
+
+use allscale_apps::stencil::{allscale_version, StencilConfig};
+use allscale_core::{RtConfig, RunReport, TraceConfig};
+
+fn run_stencil(nodes: usize, traced: bool) -> RunReport {
+    let cfg = StencilConfig::small(nodes);
+    let mut rt_cfg = RtConfig::meggie(nodes);
+    if traced {
+        rt_cfg.trace = Some(TraceConfig::default());
+    }
+    let (result, report) = allscale_version::run_with_report(&cfg, rt_cfg);
+    assert!(result.validated, "stencil must match the oracle");
+    report
+}
+
+#[test]
+fn same_config_gives_byte_identical_chrome_export() {
+    let a = run_stencil(2, true);
+    let b = run_stencil(2, true);
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.len(), tb.len(), "event counts must match");
+    assert_eq!(ta.total_dropped(), tb.total_dropped());
+    assert_eq!(
+        ta.to_chrome_json(),
+        tb.to_chrome_json(),
+        "identical runs must export byte-identical Chrome JSON"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let traced = run_stencil(2, true);
+    let untraced = run_stencil(2, false);
+    assert!(traced.trace.is_some());
+    assert!(untraced.trace.is_none());
+
+    // The simulation itself is untouched by recording.
+    assert_eq!(traced.finish_time, untraced.finish_time);
+    assert_eq!(traced.phases, untraced.phases);
+    assert_eq!(traced.remote_msgs, untraced.remote_msgs);
+    assert_eq!(traced.remote_bytes, untraced.remote_bytes);
+    assert_eq!(traced.events, untraced.events);
+
+    // Every monitor counter — including the latency histograms, which are
+    // recorded unconditionally — agrees.
+    assert_eq!(traced.summary(), untraced.summary());
+    for (t, u) in traced
+        .monitor
+        .per_locality
+        .iter()
+        .zip(&untraced.monitor.per_locality)
+    {
+        assert_eq!(t.tasks_executed, u.tasks_executed);
+        assert_eq!(t.busy_ns, u.busy_ns);
+        assert_eq!(t.msgs_sent, u.msgs_sent);
+        assert_eq!(t.bytes_sent, u.bytes_sent);
+        assert_eq!(t.replicas_in, u.replicas_in);
+        assert_eq!(t.lock_conflicts, u.lock_conflicts);
+    }
+}
+
+#[test]
+fn monitor_aggregates_equal_per_locality_sums() {
+    let report = run_stencil(4, false);
+    let m = &report.monitor;
+    assert_eq!(m.per_locality.len(), 4);
+
+    let tasks: u64 = m.per_locality.iter().map(|l| l.tasks_executed).sum();
+    let msgs: u64 = m.per_locality.iter().map(|l| l.msgs_sent).sum();
+    let bytes: u64 = m.per_locality.iter().map(|l| l.bytes_sent).sum();
+    assert!(tasks > 0, "the multi-phase stencil executed tasks");
+    assert_eq!(m.total_tasks(), tasks);
+    assert_eq!(m.total_msgs(), msgs);
+    assert_eq!(m.total_bytes(), bytes);
+
+    // Each process-variant execution records exactly one duration sample.
+    assert_eq!(m.task_durations.tally().count(), tasks);
+    // Transfer latency is recorded per successful remote delivery; a
+    // 4-node stencil exchanges halos, so samples exist and percentiles
+    // are ordered.
+    let lat = &m.transfer_latency;
+    assert!(lat.tally().count() > 0);
+    assert!(lat.p50() <= lat.p90() && lat.p90() <= lat.p99());
+}
