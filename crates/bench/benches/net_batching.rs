@@ -1,0 +1,60 @@
+//! Host-side cost of the message-coalescing layer, swept over the flush
+//! window, on the communication-heavy stencil shape (8 nodes, 64×64
+//! local grids): the coalescer must buy its simulated-makespan win
+//! without a measurable host-time cost per simulated message.
+//!
+//! - `off`: batching disabled — the ablation baseline every message is
+//!   priced individually.
+//! - `window_2us`: the default knobs (2 µs window, 64 KiB / 64-message
+//!   caps) — what `BatchParams::default()` ships.
+//! - `window_10us`: a 5× wider window — more joins per flush, more
+//!   buffered state, the worst case for coalescer bookkeeping.
+//!
+//! EXPERIMENTS.md quotes the resulting numbers next to the simulated
+//! message-count and makespan effects (which this bench does not
+//! measure — see `examples/batching.rs` for those).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use allscale_apps::stencil::{allscale_version, StencilConfig};
+use allscale_core::{BatchParams, RtConfig};
+
+const NODES: usize = 8;
+
+fn run(batching: Option<BatchParams>) -> u64 {
+    let cfg = StencilConfig {
+        nodes: NODES,
+        rows_per_node: 64,
+        cols: 64,
+        steps: 4,
+        validate: false,
+        work_scale: 1.0,
+    };
+    let mut rt = RtConfig::meggie(NODES);
+    if let Some(p) = batching {
+        rt = rt.with_batching(p);
+    }
+    let (_, report) = allscale_version::run_with_report(&cfg, rt);
+    report.remote_msgs
+}
+
+fn bench_net_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_batching");
+    g.sample_size(10);
+    g.bench_function("off", |b| b.iter(|| run(None)));
+    g.bench_function("window_2us", |b| {
+        b.iter(|| run(Some(BatchParams::default())))
+    });
+    g.bench_function("window_10us", |b| {
+        b.iter(|| {
+            run(Some(BatchParams {
+                max_delay_ns: 10_000,
+                ..BatchParams::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_net_batching);
+criterion_main!(benches);

@@ -96,14 +96,14 @@ pub use runtime::{AppDriver, Checkpoint, Locality, RtConfig, RtCtx, Runtime};
 
 // Fault-injection types, re-exported so applications configuring
 // `RtConfig::faults` need not depend on `allscale-net` directly.
-pub use allscale_net::{FaultPlan, RetryPolicy, TransferFault};
+pub use allscale_net::{BatchParams, FaultPlan, RetryPolicy, TrafficStats, TransferFault};
 
 // Tracing types, re-exported so applications enabling `RtConfig::trace`
 // and consuming `RunReport::trace` need not depend on `allscale-trace`
 // directly.
 pub use allscale_trace::{
-    critical_path, CriticalPathReport, EventKind, PathCategory, PathSegment, SpawnVariant, Trace,
-    TraceConfig, TraceEvent, TransferPurpose, RUNTIME_TID,
+    critical_path, CriticalPathReport, EventKind, FlushCause, PathCategory, PathSegment,
+    SpawnVariant, Trace, TraceConfig, TraceEvent, TransferPurpose, RUNTIME_TID,
 };
 pub use task::{
     AccessMode, Done, ItemId, Prec, PrecOps, Requirement, SplitOutcome, TaskCtx, TaskId,

@@ -4,6 +4,7 @@
 //! every run.
 
 use allscale_des::{LogHistogram, SimTime};
+use allscale_net::TrafficStats;
 use allscale_trace::{critical_path, CriticalPathReport, Trace};
 
 use crate::loc_cache::CacheStats;
@@ -119,6 +120,10 @@ pub struct RunReport {
     pub remote_msgs: u64,
     /// Remote bytes moved on the network.
     pub remote_bytes: u64,
+    /// Full network-layer statistics, including the message-batching
+    /// counters (`batches`, `batched_msgs`, `batched_bytes`,
+    /// `flushes_by_cause`) when transfer coalescing is enabled.
+    pub traffic: TrafficStats,
     /// Simulation events executed (diagnostics).
     pub events: u64,
     /// The recorded trace, when `RtConfig::trace` enabled the sink
@@ -182,6 +187,19 @@ impl RunReport {
             c.invalidations,
             c.saved_hops,
         );
+        let t = &self.traffic;
+        if t.batches > 0 {
+            let _ = writeln!(
+                out,
+                "batching: {} flushes ({} msgs, {} bytes) | causes: {} window, {} bytes-cap, {} msgs-cap",
+                t.batches,
+                t.batched_msgs,
+                t.batched_bytes,
+                t.flushes_by_cause[0],
+                t.flushes_by_cause[1],
+                t.flushes_by_cause[2],
+            );
+        }
         let r = &self.monitor.resilience;
         if r.checkpoints > 0 || r.detections > 0 || r.net_dropped > 0 || r.failed_transfers > 0 {
             let _ = writeln!(

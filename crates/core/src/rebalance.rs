@@ -250,6 +250,67 @@ mod tests {
     }
 
     #[test]
+    fn split_off_zero_takes_nothing() {
+        let r = band(0, 4).union(&band(10, 20));
+        let (taken, rest) = split_off_cells(&r, 0);
+        assert!(taken.is_empty());
+        assert_eq!(rest, r);
+        // The degenerate empty region is also safe.
+        let (taken, rest) = split_off_cells(&BoxRegion::<1>::empty(), 0);
+        assert!(taken.is_empty() && rest.is_empty());
+    }
+
+    #[test]
+    fn split_off_exact_total_and_max_take_everything() {
+        let r = band(0, 7).union(&band(10, 13));
+        for want in [10, 11, u64::MAX] {
+            let (taken, rest) = split_off_cells(&r, want);
+            assert_eq!(taken, r, "want={want}");
+            assert!(rest.is_empty(), "want={want}");
+        }
+    }
+
+    #[test]
+    fn split_off_boundary_in_later_box() {
+        // The first box is consumed whole; the cut lands inside the
+        // second box, at a row boundary.
+        let r = band(0, 4).union(&band(10, 20));
+        let (taken, rest) = split_off_cells(&r, 8);
+        assert_eq!(taken.cardinality(), 8);
+        assert_eq!(rest.cardinality(), 6);
+        assert!(taken.is_disjoint(&rest));
+        assert_eq!(taken.union(&rest), r);
+        assert!(taken.contains(&[13].into()));
+        assert!(!taken.contains(&[14].into()));
+    }
+
+    #[test]
+    fn split_off_subrow_remainder_flows_to_later_box() {
+        // Whole-row slicing of the first box (rows of 4 cells) leaves a
+        // remainder of 2, which the second box (rows of 1 cell) can
+        // deliver exactly.
+        let a = BoxRegion::<2>::cuboid([0, 0], [4, 4]);
+        let b = BoxRegion::<2>::cuboid([10, 0], [14, 1]);
+        let r = a.union(&b);
+        let (taken, rest) = split_off_cells(&r, 6);
+        assert_eq!(taken.cardinality(), 6, "taken {taken:?}");
+        assert!(taken.is_disjoint(&rest));
+        assert_eq!(taken.union(&rest), r);
+    }
+
+    #[test]
+    fn split_off_want_below_row_granularity_skips_to_fitting_box() {
+        // No whole row of the first box fits in `want`, but a later box
+        // fits entirely; the splitter must not give up at the first box.
+        let big = BoxRegion::<2>::cuboid([0, 0], [4, 4]); // rows of 4
+        let small = BoxRegion::<2>::cuboid([10, 0], [11, 2]); // 2 cells
+        let r = big.union(&small);
+        let (taken, rest) = split_off_cells(&r, 2);
+        assert_eq!(taken, small);
+        assert_eq!(rest, big);
+    }
+
+    #[test]
     fn empty_observations_are_safe() {
         let plan = plan_rebalance::<1>(&[], &[], 1.25);
         assert!(plan.is_empty());

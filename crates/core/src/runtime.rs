@@ -29,7 +29,10 @@
 use std::collections::BTreeMap;
 
 use allscale_des::{CorePool, Sim, SimDuration, SimTime};
-use allscale_net::{AnyTopology, ClusterSpec, FaultPlan, Network, RetryPolicy};
+use allscale_net::{
+    AnyTopology, Batch, BatchParams, ClusterSpec, Coalescer, Enqueue, FaultPlan, Network,
+    RetryPolicy,
+};
 use allscale_region::ItemType;
 use allscale_trace::{
     EventKind, SpawnVariant, TraceConfig, TraceEvent, TraceSink, TransferPurpose,
@@ -160,6 +163,17 @@ impl RtConfig {
             trace: None,
         }
     }
+
+    /// Enable transfer batching with the given coalescer knobs: runtime
+    /// messages to the same destination are buffered up to the flush
+    /// window and priced as one wire message, and adjacent data transfers
+    /// in one staging plan are merged region-wise. The default (`None` in
+    /// [`allscale_net::NetParams::batching`]) sends every message
+    /// individually — the ablation baseline.
+    pub fn with_batching(mut self, params: BatchParams) -> Self {
+        self.spec.net.batching = Some(params);
+        self
+    }
 }
 
 /// The simulated world of a runtime execution.
@@ -204,6 +218,15 @@ pub struct RtWorld {
     /// Trace recording handle; a disabled sink unless `RtConfig::trace`
     /// was set. The network layer holds a clone for fault-event recording.
     trace: TraceSink,
+    /// Batching knobs (`None` = every runtime message is sent
+    /// individually, the ablation baseline).
+    batching: Option<BatchParams>,
+    /// Outgoing-message coalescer: per-(src, dst) buffers of runtime
+    /// messages awaiting a batch flush. Permanently empty when batching
+    /// is off.
+    coalescer: Coalescer<PendingMsg>,
+    /// Monotonic id stamped on each batch flush (trace correlation).
+    next_batch: u64,
 }
 
 type RtSim = Sim<RtWorld>;
@@ -569,6 +592,7 @@ impl Runtime {
         } else {
             IndexImpl::Dist(DistIndex::new(nodes))
         };
+        let batching = config.spec.net.batching;
         let world = RtWorld {
             spec: config.spec,
             net,
@@ -599,6 +623,9 @@ impl Runtime {
                 .map(|cfg| cfg.retry)
                 .unwrap_or_default(),
             trace,
+            batching,
+            coalescer: Coalescer::new(batching.unwrap_or_default()),
+            next_batch: 0,
         };
         let mut sim = Sim::new(world);
         sim.world.policy = config.policy;
@@ -636,6 +663,7 @@ impl Runtime {
             monitor: w.monitor.clone(),
             remote_msgs: w.net.stats().remote_msgs(),
             remote_bytes: w.net.stats().remote_bytes(),
+            traffic: w.net.stats().clone(),
             events: self.sim.events_run(),
             trace: w.trace.take(),
         }
@@ -719,17 +747,36 @@ fn send(
     bytes: usize,
     tag: Payload,
 ) -> Option<SimTime> {
+    send_msg(w, now, from, to, bytes, tag, false)
+}
+
+/// [`send`] with an explicit `gate` switch: when set, a remote delivery
+/// additionally serializes through the destination's communication
+/// thread (the LogP `o` term — see [`handle_msg`]) and the returned time
+/// is handling-complete rather than wire arrival. The deferred-send path
+/// gates in both batched and unbatched modes, so the two stay comparable;
+/// synchronous callers ([`send`]) do not gate.
+fn send_msg(
+    w: &mut RtWorld,
+    now: SimTime,
+    from: usize,
+    to: usize,
+    bytes: usize,
+    tag: Payload,
+    gate: bool,
+) -> Option<SimTime> {
     w.monitor.per_locality[from].msgs_sent += 1;
     w.monitor.per_locality[from].bytes_sent += bytes as u64;
     match w.net.transfer_with_retry(now, from, to, bytes, &w.retry_policy) {
         Ok(arrival) => {
             if from != to {
-                w.monitor.transfer_latency.record((arrival - now).as_nanos());
+                let end = if gate { handle_msg(w, to, arrival) } else { arrival };
+                w.monitor.transfer_latency.record((end - now).as_nanos());
                 let epoch = w.run_epoch;
                 w.trace.record(|| {
                     TraceEvent::span(
                         now.as_nanos(),
-                        (arrival - now).as_nanos(),
+                        (end - now).as_nanos(),
                         to as u32,
                         EventKind::Transfer {
                             purpose: tag.purpose,
@@ -738,12 +785,15 @@ fn send(
                             bytes: bytes as u64,
                             task: tag.task.map(|t| t.0),
                             item: tag.item.map(|i| i.0),
+                            batch: None,
                         },
                     )
                     .in_epoch(epoch)
                 });
+                Some(end)
+            } else {
+                Some(arrival)
             }
-            Some(arrival)
         }
         Err(_) => {
             w.monitor.resilience.failed_transfers += 1;
@@ -763,6 +813,189 @@ fn send(
                 .in_epoch(epoch)
             });
             None
+        }
+    }
+}
+
+/// Serialize one incoming runtime message through `to`'s communication
+/// thread: handling starts once the message has arrived *and* the thread
+/// is free, and occupies it for the per-message CPU overhead. Returns
+/// the handling-complete time. This per-message serial cost is what a
+/// batch amortizes — a flush of `n` messages pays it once.
+fn handle_msg(w: &mut RtWorld, to: usize, arrival: SimTime) -> SimTime {
+    let start = w.localities[to].comm_busy.max(arrival);
+    let end = start + w.cost.msg_cpu();
+    w.localities[to].comm_busy = end;
+    end
+}
+
+/// A runtime message parked in the coalescer: its semantic tag plus the
+/// continuation to run once the batch carrying it is delivered (`Some`
+/// handling-complete time) or definitively lost (`None`).
+struct PendingMsg {
+    tag: Payload,
+    deliver: Box<dyn FnOnce(&mut RtSim, Option<SimTime>)>,
+}
+
+/// Send a runtime message through the batching layer. With batching off
+/// it is billed immediately ([`send_msg`] gated on the destination's
+/// comm thread) and `deliver` is scheduled for the handling-complete
+/// time; with batching on it is enqueued in the per-(src, dst) coalescer
+/// and `deliver` fires when the batch flushes — at the flush-window
+/// deadline, or immediately when a byte or message cap closes the batch.
+/// `deliver` receives `None` when the message (or the whole batch
+/// carrying it) is definitively lost; loss continuations run
+/// synchronously.
+fn send_deferred(
+    sim: &mut RtSim,
+    from: usize,
+    to: usize,
+    bytes: usize,
+    tag: Payload,
+    deliver: impl FnOnce(&mut RtSim, Option<SimTime>) + 'static,
+) {
+    debug_assert_ne!(from, to, "deferred sends are remote-only");
+    let now = sim.now();
+    if sim.world.batching.is_none() {
+        match send_msg(&mut sim.world, now, from, to, bytes, tag, true) {
+            Some(handled) => {
+                schedule_task_event(sim, handled, move |sim| deliver(sim, Some(handled)))
+            }
+            None => deliver(sim, None),
+        }
+        return;
+    }
+    // Sender-side accounting happens at enqueue time; the wire is billed
+    // once per flush.
+    sim.world.monitor.per_locality[from].msgs_sent += 1;
+    sim.world.monitor.per_locality[from].bytes_sent += bytes as u64;
+    let msg = PendingMsg {
+        tag,
+        deliver: Box::new(deliver),
+    };
+    match sim.world.coalescer.enqueue(now, from, to, bytes, msg) {
+        Enqueue::Joined => {}
+        Enqueue::Opened { deadline, gen } => {
+            // Eager-flush policy: hold the batch only while the sender's
+            // NIC is busy anyway. A lone message on an idle NIC departs
+            // at `now` — but the flush event is *scheduled*, so every
+            // same-destination send of the current event cascade (all at
+            // the same virtual instant, FIFO before the flush fires)
+            // still joins the batch. Under backpressure the batch rides
+            // until the NIC frees, capped by the flush window, so
+            // batching never adds more delay than the window and adds
+            // none at all when the wire is idle.
+            let eager = sim.world.net.tx_free_at(from).max(now);
+            let fire = eager.min(deadline);
+            schedule_task_event(sim, fire, move |sim| {
+                if let Some(batch) = sim.world.coalescer.take_if_gen(from, to, gen) {
+                    flush_batch(sim, batch);
+                }
+            });
+        }
+        Enqueue::Full => {
+            let batch = sim
+                .world
+                .coalescer
+                .take(from, to)
+                .expect("cap-flushed batch present");
+            flush_batch(sim, batch);
+        }
+    }
+}
+
+/// Put a closed batch on the wire as one priced message and fire every
+/// member's continuation at the batch's handling-complete time. A fault
+/// verdict applies to the whole flush: on a definitive loss, every
+/// member's continuation fires with `None`.
+fn flush_batch(sim: &mut RtSim, batch: Batch<PendingMsg>) {
+    let now = sim.now();
+    let src = batch.src;
+    let dst = batch.dst;
+    let msgs = batch.entries.len() as u64;
+    let id = sim.world.next_batch;
+    sim.world.next_batch += 1;
+    let outcome = {
+        let w = &mut sim.world;
+        w.net
+            .transfer_batch(now, src, dst, batch.bytes, msgs, batch.cause, &w.retry_policy)
+    };
+    match outcome {
+        Ok(arrival) => {
+            let w = &mut sim.world;
+            let handled = handle_msg(w, dst, arrival);
+            let epoch = w.run_epoch;
+            w.trace.record(|| {
+                TraceEvent::span(
+                    now.as_nanos(),
+                    (handled - now).as_nanos(),
+                    dst as u32,
+                    EventKind::BatchFlush {
+                        src: src as u32,
+                        dst: dst as u32,
+                        msgs: msgs as u32,
+                        bytes: batch.bytes as u64,
+                        cause: batch.cause,
+                        batch: id,
+                    },
+                )
+                .in_epoch(epoch)
+            });
+            for e in &batch.entries {
+                // Per-member latency runs from its enqueue to the flush's
+                // handling-complete time: the batching wait is transfer
+                // time, and the critical path attributes it as such.
+                let at = e.at.min(handled);
+                w.monitor.transfer_latency.record((handled - at).as_nanos());
+                let tag = e.payload.tag;
+                let bytes = e.bytes;
+                w.trace.record(|| {
+                    TraceEvent::span(
+                        at.as_nanos(),
+                        (handled - at).as_nanos(),
+                        dst as u32,
+                        EventKind::Transfer {
+                            purpose: tag.purpose,
+                            src: src as u32,
+                            dst: dst as u32,
+                            bytes: bytes as u64,
+                            task: tag.task.map(|t| t.0),
+                            item: tag.item.map(|i| i.0),
+                            batch: Some(id),
+                        },
+                    )
+                    .in_epoch(epoch)
+                });
+            }
+            let entries = batch.entries;
+            schedule_task_event(sim, handled, move |sim| {
+                for e in entries {
+                    (e.payload.deliver)(sim, Some(handled));
+                }
+            });
+        }
+        Err(_) => {
+            for e in batch.entries {
+                let PendingMsg { tag, deliver } = e.payload;
+                let w = &mut sim.world;
+                w.monitor.resilience.failed_transfers += 1;
+                let epoch = w.run_epoch;
+                w.trace.record(|| {
+                    TraceEvent::instant(
+                        now.as_nanos(),
+                        src as u32,
+                        EventKind::TransferLost {
+                            purpose: tag.purpose,
+                            src: src as u32,
+                            dst: dst as u32,
+                            bytes: e.bytes as u64,
+                            task: tag.task.map(|t| t.0),
+                        },
+                    )
+                    .in_epoch(epoch)
+                });
+                deliver(sim, None);
+            }
         }
     }
 }
@@ -1089,6 +1322,9 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
     w.parents.clear();
     w.parked.clear();
     w.retry_scheduled = false;
+    // Buffered-but-unflushed messages belong to the abandoned run; their
+    // flush timers are already disarmed by the epoch bump.
+    w.coalescer.clear();
     for l in w.localities.iter_mut() {
         l.load = 0;
     }
@@ -1203,22 +1439,25 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
                     target: target as u32,
                 },
             );
-            let arrival = if target != at {
-                let tag = Payload::task(TransferPurpose::TaskForward, tid);
-                match send(&mut sim.world, now, at, target, wi.descriptor_bytes(), tag) {
-                    Some(arrival) => arrival,
-                    // The task descriptor is lost (undetected dead target
-                    // or exhausted retries): the phase stalls until the
-                    // failure detector triggers recovery.
-                    None => return,
-                }
-            } else {
-                now
-            };
             sim.world.localities[target].load += 1;
-            schedule_task_event(sim, arrival, move |sim| {
-                do_split(sim, target, tid, wi, parent)
-            });
+            if target != at {
+                let bytes = wi.descriptor_bytes();
+                let tag = Payload::task(TransferPurpose::TaskForward, tid);
+                send_deferred(sim, at, target, bytes, tag, move |sim, arrival| {
+                    if arrival.is_none() {
+                        // The task descriptor is lost (undetected dead
+                        // target or exhausted retries): the phase stalls
+                        // until the failure detector triggers recovery.
+                        sim.world.localities[target].load -= 1;
+                        return;
+                    }
+                    do_split(sim, target, tid, wi, parent);
+                });
+            } else {
+                schedule_task_event(sim, now, move |sim| {
+                    do_split(sim, target, tid, wi, parent)
+                });
+            }
         }
         Variant::Process => {
             let reqs = wi.requirements();
@@ -1236,15 +1475,7 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
                     target: target as u32,
                 },
             );
-            let arrival = if target != at {
-                let tag = Payload::task(TransferPurpose::TaskForward, tid);
-                match send(&mut sim.world, now, at, target, wi.descriptor_bytes(), tag) {
-                    Some(arrival) => arrival,
-                    None => return, // lost task: stalls until recovery
-                }
-            } else {
-                now
-            };
+            let bytes = wi.descriptor_bytes();
             sim.world.localities[target].load += 1;
             sim.world.inflight.insert(
                 tid,
@@ -1258,7 +1489,21 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
                     pending_done: None,
                 },
             );
-            schedule_task_event(sim, arrival, move |sim| prepare_task(sim, tid));
+            if target != at {
+                let tag = Payload::task(TransferPurpose::TaskForward, tid);
+                send_deferred(sim, at, target, bytes, tag, move |sim, arrival| {
+                    if arrival.is_none() {
+                        // Lost task descriptor: drop the assignment and
+                        // stall until recovery.
+                        sim.world.inflight.remove(&tid);
+                        sim.world.localities[target].load -= 1;
+                        return;
+                    }
+                    prepare_task(sim, tid);
+                });
+            } else {
+                schedule_task_event(sim, now, move |sim| prepare_task(sim, tid));
+            }
         }
     }
 }
@@ -1454,64 +1699,73 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                 // is lost must strand the task (never let it run without
                 // its data), so the phase stalls until recovery reaps it.
                 pending += 1;
-                // Request hop first — an unreachable source is not
-                // mutated, so no data leaves the cluster with the failed
-                // message.
-                let ctrl = sim.world.cost.control_msg_bytes;
-                let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
-                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl, req_tag) else {
-                    continue;
-                };
+                // Export (and fence) at plan time, before the request
+                // goes out: the source must be fenced before any other
+                // plan can run during a batching window, or two tasks
+                // could stage overlapping migrations of the same region.
+                // A lost request then strands the exported data until
+                // recovery — same fate as the task it was feeding.
                 let bytes = sim.world.localities[src]
                     .dim
                     .export_migration(item, region.as_ref());
                 let src_owned = sim.world.localities[src].dim.owned_region(item);
                 let hops = index_update(&mut sim.world, now, item, src, src_owned);
                 bill_hops(&mut sim.world, now, &hops, Some(item));
-                let tag = Payload::data(TransferPurpose::Migrate, Some(tid), item);
-                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len(), tag) else {
-                    continue;
-                };
-                schedule_task_event(sim, arr, move |sim| {
-                    let loc2 = sim.world.inflight[&tid].loc;
-                    sim.world.localities[loc2].dim.import_owned(item, &bytes);
-                    let owned = sim.world.localities[loc2].dim.owned_region(item);
-                    let t = sim.now();
-                    let hops = index_update(&mut sim.world, t, item, loc2, owned);
-                    bill_hops(&mut sim.world, t, &hops, Some(item));
-                    sim.world.monitor.per_locality[loc2].migrations_in += 1;
-                    transfer_done(sim, tid);
+                let ctrl = sim.world.cost.control_msg_bytes;
+                let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
+                send_deferred(sim, loc, src, ctrl, req_tag, move |sim, arr| {
+                    if arr.is_none() {
+                        return;
+                    }
+                    let len = bytes.len();
+                    let tag = Payload::data(TransferPurpose::Migrate, Some(tid), item);
+                    send_deferred(sim, src, loc, len, tag, move |sim, arr| {
+                        if arr.is_none() {
+                            return;
+                        }
+                        let loc2 = sim.world.inflight[&tid].loc;
+                        sim.world.localities[loc2].dim.import_owned(item, &bytes);
+                        let owned = sim.world.localities[loc2].dim.owned_region(item);
+                        let t = sim.now();
+                        let hops = index_update(&mut sim.world, t, item, loc2, owned);
+                        bill_hops(&mut sim.world, t, &hops, Some(item));
+                        sim.world.monitor.per_locality[loc2].migrations_in += 1;
+                        transfer_done(sim, tid);
+                    });
                 });
             }
             Move::Replicate { item, region, src } => {
                 pending += 1;
-                let ctrl = sim.world.cost.control_msg_bytes;
-                let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
-                let Some(req_arr) = send(&mut sim.world, now, loc, src, ctrl, req_tag) else {
-                    continue;
-                };
                 let bytes = sim.world.localities[src].dim.export_replica(
                     item,
                     region.as_ref(),
                     loc,
                     tid,
                 );
-                let tag = Payload::data(TransferPurpose::Replicate, Some(tid), item);
-                let Some(arr) = send(&mut sim.world, req_arr, src, loc, bytes.len(), tag) else {
-                    continue;
-                };
                 let region2 = region.clone_box();
-                schedule_task_event(sim, arr, move |sim| {
-                    let loc2 = sim.world.inflight[&tid].loc;
-                    sim.world.localities[loc2].dim.import_replica(item, &bytes, tid);
-                    sim.world.monitor.per_locality[loc2].replicas_in += 1;
-                    sim.world
-                        .inflight
-                        .get_mut(&tid)
-                        .unwrap()
-                        .replicas
-                        .push((item, src, region2));
-                    transfer_done(sim, tid);
+                let ctrl = sim.world.cost.control_msg_bytes;
+                let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
+                send_deferred(sim, loc, src, ctrl, req_tag, move |sim, arr| {
+                    if arr.is_none() {
+                        return;
+                    }
+                    let len = bytes.len();
+                    let tag = Payload::data(TransferPurpose::Replicate, Some(tid), item);
+                    send_deferred(sim, src, loc, len, tag, move |sim, arr| {
+                        if arr.is_none() {
+                            return;
+                        }
+                        let loc2 = sim.world.inflight[&tid].loc;
+                        sim.world.localities[loc2].dim.import_replica(item, &bytes, tid);
+                        sim.world.monitor.per_locality[loc2].replicas_in += 1;
+                        sim.world
+                            .inflight
+                            .get_mut(&tid)
+                            .unwrap()
+                            .replicas
+                            .push((item, src, region2));
+                        transfer_done(sim, tid);
+                    });
                 });
             }
         }
@@ -1646,7 +1900,43 @@ fn plan_transfers(
             }
         }
     }
+    if w.batching.is_some() {
+        coalesce_moves(&mut plan);
+    }
     Ok(plan)
+}
+
+/// Region-level coalescing: merge transfers of the same item from the
+/// same source into one move carrying the union region, so a staging
+/// plan puts one large transfer on the wire instead of many cell-sized
+/// ones. First-occurrence order is preserved; first-touch allocations
+/// are local and pass through untouched.
+fn coalesce_moves(plan: &mut Vec<Move>) {
+    let mut merged: Vec<Move> = Vec::with_capacity(plan.len());
+    for mv in plan.drain(..) {
+        match mv {
+            Move::Migrate { item, region, src } => {
+                if let Some(Move::Migrate { region: r, .. }) = merged.iter_mut().find(|m| {
+                    matches!(m, Move::Migrate { item: i, src: s, .. } if *i == item && *s == src)
+                }) {
+                    *r = r.union_dyn(region.as_ref());
+                } else {
+                    merged.push(Move::Migrate { item, region, src });
+                }
+            }
+            Move::Replicate { item, region, src } => {
+                if let Some(Move::Replicate { region: r, .. }) = merged.iter_mut().find(|m| {
+                    matches!(m, Move::Replicate { item: i, src: s, .. } if *i == item && *s == src)
+                }) {
+                    *r = r.union_dyn(region.as_ref());
+                } else {
+                    merged.push(Move::Replicate { item, region, src });
+                }
+            }
+            first_touch => merged.push(first_touch),
+        }
+    }
+    *plan = merged;
 }
 
 fn transfer_done(sim: &mut RtSim, tid: TaskId) {
@@ -1717,7 +2007,6 @@ fn finish_execution(sim: &mut RtSim, tid: TaskId) {
     // Release locks (model rule (end)) and drop imported replicas
     // (runtime replica removal), notifying owners so write fences lift.
     sim.world.localities[loc].dim.unlock_all(tid);
-    let now = sim.now();
     let mut dropped_items: Vec<ItemId> = Vec::new();
     for (item, owner, region) in replicas {
         if !dropped_items.contains(&item) {
@@ -1726,13 +2015,14 @@ fn finish_execution(sim: &mut RtSim, tid: TaskId) {
         }
         let _ = region;
         let bytes = sim.world.cost.control_msg_bytes;
-        // A lost release leaves the owner's export fence standing; any
-        // writer it blocks stays parked until recovery clears the slate.
         let tag = Payload::data(TransferPurpose::Control, Some(tid), item);
-        let Some(arr) = send(&mut sim.world, now, loc, owner, bytes, tag) else {
-            continue;
-        };
-        schedule_task_event(sim, arr, move |sim| {
+        send_deferred(sim, loc, owner, bytes, tag, move |sim, arr| {
+            if arr.is_none() {
+                // A lost release leaves the owner's export fence
+                // standing; any writer it blocks stays parked until
+                // recovery clears the slate.
+                return;
+            }
             sim.world.localities[owner].dim.release_exports_of(item, tid);
             schedule_retries(sim);
         });
@@ -1790,14 +2080,14 @@ fn finish_task(
             let p_loc = sim.world.parents[&ptid].loc;
             let bytes = sim.world.parents[&ptid].result_bytes;
             if p_loc != loc {
-                let now = sim.now();
                 // A lost result message orphans the parent; the phase
                 // stalls until the failure detector triggers recovery.
                 let tag = Payload::task(TransferPurpose::Result, tid);
-                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes, tag) else {
-                    return;
-                };
-                schedule_task_event(sim, arr, move |sim| child_done(sim, ptid, idx, value));
+                send_deferred(sim, loc, p_loc, bytes, tag, move |sim, arr| {
+                    if arr.is_some() {
+                        child_done(sim, ptid, idx, value);
+                    }
+                });
             } else {
                 child_done(sim, ptid, idx, value);
             }
@@ -1848,12 +2138,13 @@ fn child_done(sim: &mut RtSim, ptid: TaskId, idx: usize, value: TaskValue) {
             let p_loc = sim.world.parents[&gp].loc;
             let bytes = sim.world.parents[&gp].result_bytes;
             if p_loc != loc {
-                let now = sim.now();
                 let tag = Payload::task(TransferPurpose::Result, ptid);
-                let Some(arr) = send(&mut sim.world, now, loc, p_loc, bytes, tag) else {
-                    return; // lost combined result: stalls until recovery
-                };
-                schedule_task_event(sim, arr, move |sim| child_done(sim, gp, gidx, combined));
+                send_deferred(sim, loc, p_loc, bytes, tag, move |sim, arr| {
+                    // A lost combined result stalls until recovery.
+                    if arr.is_some() {
+                        child_done(sim, gp, gidx, combined);
+                    }
+                });
             } else {
                 child_done(sim, gp, gidx, combined);
             }

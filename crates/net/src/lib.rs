@@ -13,12 +13,14 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod coalesce;
 pub mod fault;
 mod network;
 mod topology;
 pub mod wire;
 
 pub use cluster::{ClusterSpec, TopologyKind};
+pub use coalesce::{Batch, BatchParams, Coalescer, Enqueue, FlushCause};
 pub use fault::{FaultPlan, RetryPolicy, TransferFault, Verdict};
 pub use network::{NetParams, Network, TrafficStats};
 pub use topology::{AnyTopology, FatTree, NodeId, SingleSwitch, Topology, Torus2D};

@@ -101,6 +101,7 @@ fn args_of(ev: &TraceEvent) -> String {
             bytes,
             task,
             item,
+            batch,
             ..
         } => {
             put("src", src.to_string());
@@ -112,6 +113,24 @@ fn args_of(ev: &TraceEvent) -> String {
             if let Some(i) = item {
                 put("item", i.to_string());
             }
+            if let Some(b) = batch {
+                put("batch", b.to_string());
+            }
+        }
+        EventKind::BatchFlush {
+            src,
+            dst,
+            msgs,
+            bytes,
+            cause,
+            batch,
+        } => {
+            put("src", src.to_string());
+            put("dst", dst.to_string());
+            put("msgs", msgs.to_string());
+            put("bytes", bytes.to_string());
+            put("cause", format!("\"{}\"", cause.name()));
+            put("batch", batch.to_string());
         }
         EventKind::TransferLost {
             src,
@@ -200,10 +219,13 @@ impl Trace {
             }
         };
 
-        // Track discovery: cores used per locality (for thread metadata).
+        // Track discovery: cores used per locality (for thread metadata),
+        // plus the flush time of every recorded batch so member sends can
+        // anchor their flow arrows at the flush slice.
         let mut max_core = vec![-1i32; self.nodes];
         let mut spawned: Vec<u64> = Vec::new();
         let mut executed: Vec<u64> = Vec::new();
+        let mut flushes: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
         for ev in &self.events {
             if (ev.loc as usize) < self.nodes && ev.core > max_core[ev.loc as usize] {
                 max_core[ev.loc as usize] = ev.core;
@@ -211,6 +233,9 @@ impl Trace {
             match ev.kind {
                 EventKind::TaskSpawn { task, .. } => spawned.push(task),
                 EventKind::TaskExec { task, .. } => executed.push(task),
+                EventKind::BatchFlush { batch, .. } => {
+                    flushes.insert(batch, ev.ts_ns);
+                }
                 _ => {}
             }
         }
@@ -249,19 +274,47 @@ impl Trace {
             let args = args_of(ev);
             match ev.kind {
                 // Transfers: a zero-duration send slice at the source, the
-                // flight span at the destination, and a flow arrow.
-                EventKind::Transfer { src, dst, .. } => {
+                // flight span at the destination, and a flow arrow. A
+                // batched member's arrow ends at its batch's flush slice
+                // (same locality, flush time) instead of at the receiver —
+                // the batching wait is the visible gap it crosses.
+                EventKind::Transfer { src, dst, batch, .. } => {
                     sep(&mut out);
                     let extra = format!(",\"dur\":0{args}");
                     emit(&mut out, "send", cat, "X", ev.ts_ns, src, RUNTIME_TID, &extra);
                     sep(&mut out);
                     let extra = format!(",\"dur\":{}{args}", us(ev.dur_ns));
                     emit(&mut out, name, cat, "X", ev.ts_ns, dst, RUNTIME_TID, &extra);
+                    let flush_ts = batch.and_then(|b| flushes.get(&b).copied());
                     sep(&mut out);
                     let extra = format!(",\"id\":\"x{}\"", ev.id);
                     emit(&mut out, "wire", "flow-net", "s", ev.ts_ns, src, RUNTIME_TID, &extra);
                     sep(&mut out);
                     let extra = format!(",\"bp\":\"e\",\"id\":\"x{}\"", ev.id);
+                    match flush_ts {
+                        Some(ts) => {
+                            emit(&mut out, "wire", "flow-net", "f", ts, src, RUNTIME_TID, &extra)
+                        }
+                        None => emit(
+                            &mut out, "wire", "flow-net", "f", ev.end_ns(), dst, RUNTIME_TID, &extra,
+                        ),
+                    }
+                }
+                // Batch flushes: a flush slice at the source (the anchor
+                // member arrows point at), the batch span at the
+                // destination, and the wire arrow of the priced message.
+                EventKind::BatchFlush { src, dst, batch, .. } => {
+                    sep(&mut out);
+                    let extra = format!(",\"dur\":0{args}");
+                    emit(&mut out, "flush", cat, "X", ev.ts_ns, src, RUNTIME_TID, &extra);
+                    sep(&mut out);
+                    let extra = format!(",\"dur\":{}{args}", us(ev.dur_ns));
+                    emit(&mut out, name, cat, "X", ev.ts_ns, dst, RUNTIME_TID, &extra);
+                    sep(&mut out);
+                    let extra = format!(",\"id\":\"b{batch}\"");
+                    emit(&mut out, "wire", "flow-net", "s", ev.ts_ns, src, RUNTIME_TID, &extra);
+                    sep(&mut out);
+                    let extra = format!(",\"bp\":\"e\",\"id\":\"b{batch}\"");
                     emit(&mut out, "wire", "flow-net", "f", ev.end_ns(), dst, RUNTIME_TID, &extra);
                 }
                 // Spawns: a zero-duration slice (so the flow anchors) plus
@@ -335,6 +388,7 @@ mod tests {
                     bytes: 64,
                     task: Some(1),
                     item: None,
+                    batch: None,
                 },
             )
         });

@@ -538,7 +538,7 @@ mod tests {
         }
         sink.record(|| {
             s(100, 200, 1, EventKind::Transfer {
-                purpose: TransferPurpose::TaskForward, src: 0, dst: 1, bytes: 64, task: Some(2), item: None,
+                purpose: TransferPurpose::TaskForward, src: 0, dst: 1, bytes: 64, task: Some(2), item: None, batch: None,
             })
         });
         sink.record(|| s(150, 300, 0, EventKind::TaskExec { task: 1 }).on_core(0));
@@ -546,14 +546,14 @@ mod tests {
         // Task 2's boundary data arrives at t=800; it executes 800..1800.
         sink.record(|| {
             s(300, 500, 1, EventKind::Transfer {
-                purpose: TransferPurpose::Replicate, src: 0, dst: 1, bytes: 4096, task: Some(2), item: Some(0),
+                purpose: TransferPurpose::Replicate, src: 0, dst: 1, bytes: 4096, task: Some(2), item: Some(0), batch: None,
             })
         });
         sink.record(|| s(800, 1000, 1, EventKind::TaskExec { task: 2 }).on_core(1));
         sink.record(|| i(1800, 1, EventKind::TaskEnd { task: 2, parent: Some(0) }));
         sink.record(|| {
             s(1800, 150, 0, EventKind::Transfer {
-                purpose: TransferPurpose::Result, src: 1, dst: 0, bytes: 16, task: Some(2), item: None,
+                purpose: TransferPurpose::Result, src: 1, dst: 0, bytes: 16, task: Some(2), item: None, batch: None,
             })
         });
         sink.record(|| i(1950, 0, EventKind::TaskEnd { task: 0, parent: None }));

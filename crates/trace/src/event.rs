@@ -37,6 +37,31 @@ impl TransferPurpose {
     }
 }
 
+/// Why a coalesced batch left the sender's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlushCause {
+    /// The flush window (`max_delay_ns`) expired.
+    Window = 0,
+    /// The byte cap was reached.
+    Bytes = 1,
+    /// The message-count cap was reached.
+    Msgs = 2,
+}
+
+impl FlushCause {
+    /// Short name used in exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushCause::Window => "window",
+            FlushCause::Bytes => "bytes",
+            FlushCause::Msgs => "msgs",
+        }
+    }
+
+    /// All causes, in stats-array order.
+    pub const ALL: [FlushCause; 3] = [FlushCause::Window, FlushCause::Bytes, FlushCause::Msgs];
+}
+
 /// Which variant the scheduler picked for a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpawnVariant {
@@ -120,6 +145,25 @@ pub enum EventKind {
         task: Option<u64>,
         /// The data item moved, if any.
         item: Option<u32>,
+        /// The coalesced batch this message rode in, if batching was on.
+        batch: Option<u64>,
+    },
+    /// A coalesced batch leaving the wire as one priced message (span
+    /// from the flush to full arrival, attributed to the *destination*
+    /// locality — mirroring [`EventKind::Transfer`]).
+    BatchFlush {
+        /// Sending locality.
+        src: u32,
+        /// Receiving locality.
+        dst: u32,
+        /// Number of aggregated messages.
+        msgs: u32,
+        /// Total payload bytes of the batch.
+        bytes: u64,
+        /// What triggered the flush.
+        cause: FlushCause,
+        /// Batch id linking member [`EventKind::Transfer`] events here.
+        batch: u64,
     },
     /// A message definitively lost (dead endpoint or retries exhausted;
     /// instant at the send time).
@@ -237,6 +281,7 @@ impl EventKind {
             EventKind::ItemDestroy { .. } => "destroy",
             EventKind::FirstTouch { .. } => "first-touch",
             EventKind::Transfer { purpose, .. } => purpose.name(),
+            EventKind::BatchFlush { .. } => "batch-flush",
             EventKind::TransferLost { .. } => "lost",
             EventKind::IndexLookup { .. } => "lookup",
             EventKind::IndexUpdate { .. } => "update",
@@ -262,7 +307,9 @@ impl EventKind {
             EventKind::ItemCreate { .. }
             | EventKind::ItemDestroy { .. }
             | EventKind::FirstTouch { .. } => "data",
-            EventKind::Transfer { .. } | EventKind::TransferLost { .. } => "net",
+            EventKind::Transfer { .. }
+            | EventKind::BatchFlush { .. }
+            | EventKind::TransferLost { .. } => "net",
             EventKind::IndexLookup { .. } | EventKind::IndexUpdate { .. } => "index",
             EventKind::NetDrop { .. }
             | EventKind::NetDelay { .. }

@@ -45,5 +45,5 @@ mod sink;
 
 pub use chrome::RUNTIME_TID;
 pub use critical_path::{critical_path, CriticalPathReport, PathCategory, PathSegment};
-pub use event::{EventKind, SpawnVariant, TraceEvent, TransferPurpose};
+pub use event::{EventKind, FlushCause, SpawnVariant, TraceEvent, TransferPurpose};
 pub use sink::{Trace, TraceBuffer, TraceConfig, TraceSink};

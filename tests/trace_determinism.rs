@@ -7,15 +7,27 @@
 //!    histograms), differing only in `report.trace`.
 //! 3. **Aggregate consistency** — the Monitor's cluster-wide aggregates
 //!    equal the sums of its per-locality counters after a multi-phase run.
+//!
+//! All three invariants are asserted with transfer batching off and on:
+//! the coalescer sits on the simulated clock like everything else, so a
+//! batched run must be exactly as deterministic and observer-free as an
+//! unbatched one.
 
 use allscale_apps::stencil::{allscale_version, StencilConfig};
-use allscale_core::{RtConfig, RunReport, TraceConfig};
+use allscale_core::{BatchParams, RtConfig, RunReport, TraceConfig};
 
 fn run_stencil(nodes: usize, traced: bool) -> RunReport {
+    run_stencil_batched(nodes, traced, false)
+}
+
+fn run_stencil_batched(nodes: usize, traced: bool, batched: bool) -> RunReport {
     let cfg = StencilConfig::small(nodes);
     let mut rt_cfg = RtConfig::meggie(nodes);
     if traced {
         rt_cfg.trace = Some(TraceConfig::default());
+    }
+    if batched {
+        rt_cfg = rt_cfg.with_batching(BatchParams::default());
     }
     let (result, report) = allscale_version::run_with_report(&cfg, rt_cfg);
     assert!(result.validated, "stencil must match the oracle");
@@ -90,4 +102,61 @@ fn monitor_aggregates_equal_per_locality_sums() {
     let lat = &m.transfer_latency;
     assert!(lat.tally().count() > 0);
     assert!(lat.p50() <= lat.p90() && lat.p90() <= lat.p99());
+}
+
+// --------------------------------------------------- batched-mode variants
+
+#[test]
+fn batched_runs_export_byte_identical_chrome_json() {
+    let a = run_stencil_batched(2, true, true);
+    let b = run_stencil_batched(2, true, true);
+    assert!(a.traffic.batches > 0, "batching must engage at 2 nodes");
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.len(), tb.len(), "event counts must match");
+    let json = ta.to_chrome_json();
+    assert_eq!(
+        json,
+        tb.to_chrome_json(),
+        "identical batched runs must export byte-identical Chrome JSON"
+    );
+    // The export carries the flush spans and the batch ids that tie each
+    // member transfer to its flush.
+    assert!(json.contains("\"batch\""), "batch ids must be exported");
+}
+
+#[test]
+fn batched_tracing_does_not_perturb_the_run() {
+    let traced = run_stencil_batched(2, true, true);
+    let untraced = run_stencil_batched(2, false, true);
+    assert!(traced.trace.is_some() && untraced.trace.is_none());
+    assert_eq!(traced.finish_time, untraced.finish_time);
+    assert_eq!(traced.remote_msgs, untraced.remote_msgs);
+    assert_eq!(traced.events, untraced.events);
+    assert_eq!(traced.traffic.batches, untraced.traffic.batches);
+    assert_eq!(traced.traffic.batched_msgs, untraced.traffic.batched_msgs);
+    assert_eq!(traced.traffic.batched_bytes, untraced.traffic.batched_bytes);
+    assert_eq!(traced.summary(), untraced.summary());
+}
+
+/// The batch counters tie out against the per-locality monitor: every
+/// logical message a locality sent either stayed local, went out on the
+/// wire individually, or rode a batch — and each flush replaced
+/// `batched_msgs` logical messages with `batches` wire messages.
+#[test]
+fn batch_counters_sum_to_per_locality_aggregates() {
+    let r = run_stencil_batched(4, false, true);
+    let t = &r.traffic;
+    assert!(t.batches > 0);
+    assert_eq!(
+        t.flushes_by_cause.iter().sum::<u64>(),
+        t.batches,
+        "every flush has exactly one cause"
+    );
+    assert!(t.batched_msgs >= t.batches);
+    let logical: u64 = r.monitor.per_locality.iter().map(|l| l.msgs_sent).sum();
+    assert_eq!(
+        logical,
+        t.local.count() + t.remote_msgs() + (t.batched_msgs - t.batches),
+        "logical sends must equal local + wire + coalesced-away messages"
+    );
 }
