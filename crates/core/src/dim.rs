@@ -341,6 +341,34 @@ impl DataItemManager {
         acc
     }
 
+    /// Serialize `region` of the local fragment without recording an
+    /// export or touching any bookkeeping — the read-only audit primitive
+    /// of the integrity scrubber (fingerprint comparison and repair
+    /// payloads).
+    pub fn peek_bytes(&self, item: ItemId, region: &dyn DynRegion) -> Vec<u8> {
+        self.slot(item).frag.extract_dyn(region).encode()
+    }
+
+    /// Evict the persistent-replica coverage of `item` (the integrity
+    /// scrubber's quarantine of a repeatedly divergent replica). Physical
+    /// data is dropped only where nothing else — owned region or a
+    /// transient hold — still covers it; the owner's export fence is
+    /// unaffected.
+    pub fn drop_persistent(&mut self, item: ItemId) {
+        let slot = self.slot_mut(item);
+        let mut drop = std::mem::replace(&mut slot.persistent, (slot.desc.empty_region)());
+        drop = drop.difference_dyn(slot.owned.as_ref());
+        for (_, r) in &slot.holds {
+            if drop.is_empty_dyn() {
+                break;
+            }
+            drop = drop.difference_dyn(r.as_ref());
+        }
+        if !drop.is_empty_dyn() {
+            slot.frag.remove_dyn(drop.as_ref());
+        }
+    }
+
     /// Whether an outstanding export intersects `region`.
     pub fn exported(&self, item: ItemId, region: &dyn DynRegion) -> bool {
         let slot = self.slot(item);
@@ -698,6 +726,42 @@ mod tests {
         // The wiped item is still usable.
         dim.init_owned(ItemId(0), &r2([1, 1], [3, 3]));
         assert!(dim.covers(ItemId(0), &r2([1, 1], [3, 3])));
+    }
+
+    #[test]
+    fn peek_bytes_is_side_effect_free() {
+        let mut owner = mk();
+        owner.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        owner
+            .fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([1, 1]), 9.0);
+        let peeked = owner.peek_bytes(ItemId(0), &r2([0, 0], [2, 2]));
+        // Same bytes an export would produce, but no fence recorded.
+        assert!(!peeked.is_empty());
+        assert!(!owner.exported(ItemId(0), &r2([0, 0], [2, 2])));
+        let exported = owner.export_replica(ItemId(0), &r2([0, 0], [2, 2]), 1, TaskId(1));
+        assert_eq!(peeked, exported);
+    }
+
+    #[test]
+    fn drop_persistent_evicts_replica_but_not_owned_data() {
+        let mut owner = mk();
+        let mut holder = {
+            let mut dim = DataItemManager::new(1);
+            dim.register(ItemId(0), ItemDescriptor::of::<G2>("grid"));
+            dim
+        };
+        owner.init_owned(ItemId(0), &r2([0, 0], [2, 2]));
+        holder.init_owned(ItemId(0), &r2([4, 0], [6, 2]));
+        let bytes = owner.export_replica(ItemId(0), &r2([0, 0], [2, 2]), 1, TaskId(u64::MAX));
+        holder.import_persistent(ItemId(0), &bytes);
+        assert!(holder.covers_stable(ItemId(0), &r2([0, 0], [2, 2])));
+        holder.drop_persistent(ItemId(0));
+        assert!(holder.persistent_region(ItemId(0)).is_empty_dyn());
+        assert!(!holder.covers(ItemId(0), &r2([0, 0], [2, 2])));
+        assert!(holder.covers(ItemId(0), &r2([4, 0], [6, 2])), "owned data survives");
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! - [`resilience`]: the active resilience manager — checkpoint cadence,
 //!   heartbeat failure detection, and automatic recovery from fail-stop
 //!   locality deaths injected via [`FaultPlan`];
+//! - [`integrity`]: the data-integrity service — checksum framing of
+//!   every runtime payload with verify-on-receive and bounded
+//!   re-requests, checksummed checkpoint shards, and a background
+//!   replica scrubber with repair and quarantine;
 //! - structured tracing (`allscale-trace`): setting [`RtConfig::trace`]
 //!   records task, data, index, network and resilience events;
 //!   [`RunReport::trace`](monitor::RunReport::trace) exports Chrome
@@ -69,6 +73,7 @@ pub mod dim;
 pub mod dynamic;
 pub mod facade;
 pub mod index;
+pub mod integrity;
 pub mod loc_cache;
 pub mod monitor;
 pub mod policy;
@@ -85,6 +90,7 @@ pub use facade::{
     Scalar, ScalarItem, Tree, TreeItem,
 };
 pub use index::{CentralIndex, DistIndex};
+pub use integrity::{IntegrityConfig, IntegrityStats};
 pub use loc_cache::{CacheStats, LocationCache};
 pub use monitor::{LocalityStats, Monitor, RunReport};
 pub use policy::{

@@ -7,6 +7,7 @@ use allscale_des::{LogHistogram, SimTime};
 use allscale_net::TrafficStats;
 use allscale_trace::{critical_path, CriticalPathReport, Trace};
 
+use crate::integrity::IntegrityStats;
 use crate::loc_cache::CacheStats;
 use crate::resilience::ResilienceStats;
 
@@ -52,6 +53,10 @@ pub struct Monitor {
     /// re-executed tasks, network retries). All zeros when the run had no
     /// fault injection and no resilience manager.
     pub resilience: ResilienceStats,
+    /// Data-integrity counters (wire corruptions and their detection,
+    /// checkpoint shard verification, replica scrubbing). All zeros when
+    /// the run injected no corruption and had no integrity service.
+    pub integrity: IntegrityStats,
     /// Distribution of task compute durations (ns), log2-bucketed for
     /// p50/p90/p99 summaries.
     pub task_durations: LogHistogram,
@@ -215,6 +220,32 @@ impl RunReport {
                 r.net_dropped,
                 r.net_retries,
                 r.failed_transfers,
+            );
+        }
+        if t.undeliverable > 0 {
+            let _ = writeln!(
+                out,
+                "undeliverable: {} messages addressed to (or sent by) dead localities",
+                t.undeliverable,
+            );
+        }
+        let g = &self.monitor.integrity;
+        if g.wire_corruptions > 0 || g.rot_injected > 0 || g.scrub_passes > 0 {
+            let _ = writeln!(
+                out,
+                "integrity: {} wire corruptions ({} detected, {} undetected, {} re-requests), {} rot events | checkpoints: {} shards rejected, {} fallbacks | scrub: {} passes, {} audits, {} divergent, {} repairs, {} quarantines",
+                g.wire_corruptions,
+                g.wire_detected,
+                g.wire_undetected,
+                g.re_requests,
+                g.rot_injected,
+                g.checkpoint_shards_rejected,
+                g.checkpoint_fallbacks,
+                g.scrub_passes,
+                g.replicas_scrubbed,
+                g.scrub_divergent,
+                g.scrub_repairs,
+                g.quarantines,
             );
         }
         for (i, l) in self.monitor.per_locality.iter().enumerate() {

@@ -10,10 +10,10 @@
 //!   boundaries, the runtime snapshots the owned data of every item on
 //!   every locality (the passive primitive already exposed through
 //!   [`crate::RtCtx::checkpoint`]);
-//! - a **heartbeat failure detector** — locality 0 pings every other
-//!   locality each `heartbeat_period` on the simulated clock; a locality
-//!   missing `suspicion_threshold` consecutive heartbeats is declared
-//!   dead (fail-stop);
+//! - a **heartbeat failure detector** — the host locality pings every
+//!   other live locality each `heartbeat_period` on the simulated clock;
+//!   a locality missing `suspicion_threshold` consecutive heartbeats is
+//!   declared dead (fail-stop);
 //! - the **retry policy** the runtime applies to its own messages on a
 //!   faulty fabric (bounded attempts, exponential backoff — see
 //!   [`allscale_net::RetryPolicy`]).
@@ -24,12 +24,19 @@
 //! location-cache epochs, and replays the in-flight phase — lives in
 //! [`crate::runtime`], which owns the world the manager acts on.
 //!
-//! Known simplifications (documented in DESIGN.md §5.5b): locality 0
-//! hosts the detector and is assumed immortal, checkpoints move data
-//! out-of-band (counted, not billed on the network), and a checkpoint is
-//! only taken at boundaries whose phase value is `None` (task values are
-//! not serializable, so a phase fed by a previous phase's value cannot
-//! be replayed faithfully).
+//! The detector is hosted by the lowest-indexed locality not yet
+//! declared dead; the next live locality probes the host itself, so a
+//! host death fails the detection duty over instead of silencing it.
+//! Known simplifications (documented in DESIGN.md §5.5b): checkpoints
+//! move data out-of-band (counted, not billed on the network), and a
+//! checkpoint is only taken at boundaries whose phase value is `None`
+//! (task values are not serializable, so a phase fed by a previous
+//! phase's value cannot be replayed faithfully).
+//!
+//! When the integrity service is on ([`crate::IntegrityConfig`]), each
+//! checkpoint shard is saved together with its FNV-1a checksum; recovery
+//! verifies shards before restoring and falls back to the previous
+//! checkpoint (up to [`MAX_KEPT`] are retained) when one fails.
 
 use allscale_des::SimDuration;
 use allscale_net::RetryPolicy;
@@ -104,14 +111,23 @@ pub(crate) struct SavedCheckpoint {
     pub phase: usize,
     /// Owned data of every item on every locality.
     pub snap: Checkpoint,
+    /// FNV-1a checksum of each shard, aligned with
+    /// `snap.per_locality[loc][k]`. Computed over the in-memory bytes at
+    /// save time, *before* any at-rest rot is injected into the stored
+    /// copy — so a rotted shard fails verification at restore.
+    pub sums: Vec<Vec<u64>>,
 }
+
+/// How many checkpoints the manager retains: the current one plus one
+/// fallback for recoveries that find the newest checkpoint corrupt.
+pub(crate) const MAX_KEPT: usize = 2;
 
 /// Live state of the resilience manager, owned by the runtime world.
 pub(crate) struct ResilienceManager {
     /// The configured policy.
     pub cfg: ResilienceConfig,
-    /// Most recent checkpoint, if any was taken yet.
-    pub last: Option<SavedCheckpoint>,
+    /// Retained checkpoints, oldest first, at most [`MAX_KEPT`] deep.
+    pub saved: Vec<SavedCheckpoint>,
     /// Consecutive missed heartbeats per locality.
     pub misses: Vec<u32>,
     /// `Monitor::total_tasks()` at the instant of the last checkpoint —
@@ -124,7 +140,7 @@ impl ResilienceManager {
     pub fn new(cfg: ResilienceConfig, nodes: usize) -> Self {
         ResilienceManager {
             cfg,
-            last: None,
+            saved: Vec::new(),
             misses: vec![0; nodes],
             tasks_at_checkpoint: 0,
         }
@@ -139,12 +155,16 @@ impl ResilienceManager {
     pub fn due(&self, phase: usize) -> bool {
         phase > 0
             && phase.is_multiple_of(self.cfg.checkpoint_every.max(1))
-            && !matches!(&self.last, Some(s) if s.phase == phase)
+            && !matches!(self.saved.last(), Some(s) if s.phase == phase)
     }
 
-    /// Record a checkpoint taken at the boundary entering `phase`.
-    pub fn save(&mut self, phase: usize, snap: Checkpoint, tasks_done: u64) {
-        self.last = Some(SavedCheckpoint { phase, snap });
+    /// Record a checkpoint taken at the boundary entering `phase`,
+    /// evicting the oldest retained checkpoint beyond [`MAX_KEPT`].
+    pub fn save(&mut self, phase: usize, snap: Checkpoint, sums: Vec<Vec<u64>>, tasks_done: u64) {
+        self.saved.push(SavedCheckpoint { phase, snap, sums });
+        if self.saved.len() > MAX_KEPT {
+            self.saved.remove(0);
+        }
         self.tasks_at_checkpoint = tasks_done;
     }
 }
@@ -178,20 +198,37 @@ mod tests {
         assert!(mgr.due(4));
     }
 
+    fn empty_snap() -> (Checkpoint, Vec<Vec<u64>>) {
+        (
+            Checkpoint {
+                per_locality: vec![Vec::new(), Vec::new()],
+            },
+            vec![Vec::new(), Vec::new()],
+        )
+    }
+
     #[test]
     fn replayed_boundary_is_not_recheckpointed() {
         let mut mgr = ResilienceManager::new(ResilienceConfig::default(), 2);
         assert!(mgr.due(2));
-        mgr.save(
-            2,
-            Checkpoint {
-                per_locality: vec![Vec::new(), Vec::new()],
-            },
-            7,
-        );
+        let (snap, sums) = empty_snap();
+        mgr.save(2, snap, sums, 7);
         assert!(!mgr.due(2), "restored boundary must not re-snapshot");
         assert!(mgr.due(4), "later boundaries still checkpoint");
         assert_eq!(mgr.tasks_at_checkpoint, 7);
+    }
+
+    #[test]
+    fn retains_at_most_two_checkpoints_newest_last() {
+        let mut mgr = ResilienceManager::new(ResilienceConfig::default(), 2);
+        for phase in [2, 4, 6] {
+            let (snap, sums) = empty_snap();
+            mgr.save(phase, snap, sums, 0);
+        }
+        assert_eq!(mgr.saved.len(), MAX_KEPT);
+        let phases: Vec<usize> = mgr.saved.iter().map(|s| s.phase).collect();
+        assert_eq!(phases, vec![4, 6], "oldest evicted, newest last");
+        assert!(!mgr.due(6), "due() consults the newest retained checkpoint");
     }
 
     #[test]

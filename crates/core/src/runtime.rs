@@ -30,8 +30,8 @@ use std::collections::BTreeMap;
 
 use allscale_des::{CorePool, Sim, SimDuration, SimTime};
 use allscale_net::{
-    AnyTopology, Batch, BatchParams, ClusterSpec, Coalescer, Enqueue, FaultPlan, Network,
-    RetryPolicy,
+    frame, AnyTopology, Batch, BatchParams, ClusterSpec, Coalescer, Delivered, Enqueue, FaultPlan,
+    Network, RetryPolicy,
 };
 use allscale_region::ItemType;
 use allscale_trace::{
@@ -42,6 +42,7 @@ use crate::cost::CostModel;
 use crate::dim::DataItemManager;
 use crate::dynamic::{DynRegion, ItemDescriptor};
 use crate::index::{CentralIndex, DistIndex, Hop, Resolution};
+use crate::integrity::{IntegrityConfig, IntegrityManager};
 use crate::loc_cache::LocationCache;
 use crate::monitor::{Monitor, RunReport};
 use crate::policy::{DataAwarePolicy, PolicyEnv, SchedulingPolicy, Variant};
@@ -129,6 +130,13 @@ pub struct RtConfig {
     /// locality death, such a run deadlocks — enable this whenever the
     /// fault plan kills nodes.
     pub resilience: Option<ResilienceConfig>,
+    /// Enable the data-integrity service: checksum framing of every
+    /// runtime payload with verify-on-receive and bounded re-requests,
+    /// checksummed checkpoint shards, and the background replica
+    /// scrubber. `None` (the default) leaves the runtime
+    /// integrity-oblivious — combined with a corrupting fault plan, such
+    /// a run silently consumes poisoned bytes (the ablation baseline).
+    pub integrity: Option<IntegrityConfig>,
     /// Structured tracing: `Some` records task, data, index, network and
     /// resilience events into bounded per-locality rings (consumed from
     /// [`RunReport::trace`](crate::monitor::RunReport)). `None` (the
@@ -147,6 +155,7 @@ impl RtConfig {
             central_index: false,
             faults: None,
             resilience: None,
+            integrity: None,
             trace: None,
         }
     }
@@ -160,8 +169,17 @@ impl RtConfig {
             central_index: false,
             faults: None,
             resilience: None,
+            integrity: None,
             trace: None,
         }
+    }
+
+    /// Enable the data-integrity service with the given policy. See
+    /// [`IntegrityConfig`] for the knobs; [`IntegrityConfig::default`]
+    /// turns on transfer and checkpoint verification plus the scrubber.
+    pub fn with_integrity(mut self, cfg: IntegrityConfig) -> Self {
+        self.integrity = Some(cfg);
+        self
     }
 
     /// Enable transfer batching with the given coalescer knobs: runtime
@@ -207,6 +225,8 @@ pub struct RtWorld {
     done: bool,
     /// Resilience-manager state (`None` when the service is disabled).
     resilience: Option<ResilienceManager>,
+    /// Integrity-service state (`None` when the service is disabled).
+    integrity: Option<IntegrityManager>,
     /// Localities declared dead by the failure detector.
     dead: Vec<bool>,
     /// Bumped on every recovery; events scheduled through
@@ -334,6 +354,7 @@ impl RtCtx<'_> {
             // Sentinel task id marks the export as persistent.
             dim.export_replica(item, region, usize::MAX, TaskId(u64::MAX))
         };
+        let wire = seal_payload(self.world, bytes);
         let mut t = self.now;
         for dst in 0..nodes {
             if dst == owner {
@@ -343,11 +364,15 @@ impl RtCtx<'_> {
             // the replica (it re-fetches on demand if it ever revives —
             // under fail-stop it never does).
             let tag = Payload::data(TransferPurpose::Broadcast, None, item);
-            match send(self.world, t, owner, dst, bytes.len(), tag) {
-                Some(arrival) => t = arrival,
-                None => continue,
-            }
-            self.world.localities[dst].dim.import_persistent(item, &bytes);
+            let Some(arrival) = send_msg(self.world, t, owner, dst, wire.len(), tag, false) else {
+                continue;
+            };
+            t = arrival.at;
+            let mut data = open_payload(self.world, &wire, arrival.intact);
+            // Persistent replicas live until the end of the run — long
+            // enough for at-rest rot to matter.
+            rot_payload(self.world, &mut data);
+            self.world.localities[dst].dim.import_persistent(item, &data);
             self.world.monitor.per_locality[dst].replicas_in += 1;
         }
     }
@@ -360,6 +385,17 @@ impl RtCtx<'_> {
     pub fn migrate_region(&mut self, item: ItemId, region: &dyn DynRegion, from: usize, to: usize) {
         let w = &mut self.world;
         let now = self.now;
+        // Remap endpoints off localities the detector has declared dead —
+        // the same rule task placement applies (`live_target`). Without
+        // it, a policy handing data to a crashed locality would re-own
+        // the region to a node that can never serve it: every later
+        // reader's request to it is lost, the phase stalls, and no
+        // further death exists for the detector to recover from.
+        let from = live_target(w, from);
+        let to = live_target(w, to);
+        if from == to {
+            return;
+        }
         let bytes = w.localities[from].dim.export_migration(item, region);
         let new_src_owned = w.localities[from].dim.owned_region(item);
         let hops1 = index_update(w, now, item, from, new_src_owned);
@@ -369,8 +405,18 @@ impl RtCtx<'_> {
         // Driver-initiated migration is synchronous bookkeeping; a lost
         // transfer only truncates the billing (recovery restores any
         // halfway state from the checkpoint).
+        let wire = seal_payload(w, bytes);
         let tag = Payload::data(TransferPurpose::Migrate, None, item);
-        let t = send(w, now, from, to, bytes.len(), tag).unwrap_or(now);
+        let sent = send_msg(w, now, from, to, wire.len(), tag, false);
+        if let Some(d) = sent {
+            if !d.intact {
+                // Silent-corruption baseline: what actually arrived
+                // replaces the optimistically imported copy.
+                let data = open_payload(w, &wire, false);
+                w.localities[to].dim.import_owned(item, &data);
+            }
+        }
+        let t = sent.map(|d| d.at).unwrap_or(now);
         bill_hops(w, t, &hops1, Some(item));
         bill_hops(w, t, &hops2, Some(item));
         w.monitor.per_locality[to].migrations_in += 1;
@@ -578,6 +624,9 @@ impl Runtime {
         if let Some(plan) = config.faults {
             net.install_faults(plan);
         }
+        if config.integrity.is_some_and(|i| i.verify_transfers) {
+            net.set_integrity(true);
+        }
         net.install_trace(trace.clone());
         let localities = (0..nodes)
             .map(|i| Locality {
@@ -616,6 +665,7 @@ impl Runtime {
             resilience: config
                 .resilience
                 .map(|cfg| ResilienceManager::new(cfg, nodes)),
+            integrity: config.integrity.map(IntegrityManager::new),
             dead: vec![false; nodes],
             run_epoch: 0,
             retry_policy: config
@@ -645,10 +695,21 @@ impl Runtime {
             let period = mgr.cfg.heartbeat_period;
             self.sim.schedule(period, heartbeat_tick);
         }
+        if let Some(period) = self.sim.world.integrity.as_ref().and_then(|m| m.cfg.scrub_period) {
+            self.sim.schedule(period, scrub_tick);
+        }
         self.sim.run();
         self.sim.world.monitor.cache = self.sim.world.loc_cache.stats();
         self.sim.world.monitor.resilience.net_retries = self.sim.world.net.stats().retries;
         self.sim.world.monitor.resilience.net_dropped = self.sim.world.net.stats().dropped;
+        {
+            let wire = self.sim.world.net.stats().clone();
+            let g = &mut self.sim.world.monitor.integrity;
+            g.wire_corruptions = wire.corrupted;
+            g.wire_detected = wire.corrupt_detected;
+            g.wire_undetected = wire.corrupt_undetected;
+            g.re_requests = wire.re_requests;
+        }
         let w = &self.sim.world;
         assert!(
             w.inflight.is_empty() && w.parents.is_empty(),
@@ -747,7 +808,7 @@ fn send(
     bytes: usize,
     tag: Payload,
 ) -> Option<SimTime> {
-    send_msg(w, now, from, to, bytes, tag, false)
+    send_msg(w, now, from, to, bytes, tag, false).map(|d| d.at)
 }
 
 /// [`send`] with an explicit `gate` switch: when set, a remote delivery
@@ -756,6 +817,12 @@ fn send(
 /// is handling-complete rather than wire arrival. The deferred-send path
 /// gates in both batched and unbatched modes, so the two stay comparable;
 /// synchronous callers ([`send`]) do not gate.
+///
+/// The returned [`Delivered`] carries the wire's integrity verdict:
+/// `intact` is `false` only when a corrupting fault plan runs with
+/// checksum verification off — verification on turns a corrupt delivery
+/// into a re-request inside the retry loop, so a verified delivery is
+/// always intact.
 fn send_msg(
     w: &mut RtWorld,
     now: SimTime,
@@ -764,11 +831,15 @@ fn send_msg(
     bytes: usize,
     tag: Payload,
     gate: bool,
-) -> Option<SimTime> {
+) -> Option<Delivered> {
     w.monitor.per_locality[from].msgs_sent += 1;
     w.monitor.per_locality[from].bytes_sent += bytes as u64;
-    match w.net.transfer_with_retry(now, from, to, bytes, &w.retry_policy) {
-        Ok(arrival) => {
+    match w
+        .net
+        .transfer_with_retry_frame(now, from, to, bytes, &w.retry_policy)
+    {
+        Ok(delivered) => {
+            let arrival = delivered.at;
             if from != to {
                 let end = if gate { handle_msg(w, to, arrival) } else { arrival };
                 w.monitor.transfer_latency.record((end - now).as_nanos());
@@ -790,9 +861,12 @@ fn send_msg(
                     )
                     .in_epoch(epoch)
                 });
-                Some(end)
+                Some(Delivered {
+                    at: end,
+                    intact: delivered.intact,
+                })
             } else {
-                Some(arrival)
+                Some(delivered)
             }
         }
         Err(_) => {
@@ -829,12 +903,68 @@ fn handle_msg(w: &mut RtWorld, to: usize, arrival: SimTime) -> SimTime {
     end
 }
 
+// ---------------------------------------------------------------- integrity
+
+/// Whether transfer verification is on: data payloads are framed with a
+/// checksum and opened at the receiver.
+fn verify_on(w: &RtWorld) -> bool {
+    w.integrity.as_ref().is_some_and(|m| m.cfg.verify_transfers)
+}
+
+/// Wrap a data payload for the wire. With transfer verification on, the
+/// payload is sealed under its FNV-1a checksum (the framed length —
+/// payload plus [`frame::FRAME_OVERHEAD`] — is what gets billed);
+/// otherwise the bytes travel bare. Control messages are not sealed
+/// individually: their fixed `control_msg_bytes` size already stands for
+/// a fully framed wire message.
+fn seal_payload(w: &RtWorld, payload: Vec<u8>) -> Vec<u8> {
+    if verify_on(w) {
+        frame::seal(&payload)
+    } else {
+        payload
+    }
+}
+
+/// Recover the payload of an arrived data transfer. With verification
+/// on, the frame is opened and checked — the network never delivers a
+/// corrupt message in that mode (it re-requests instead), so a mismatch
+/// here would be an *undetected* corruption and the check is the
+/// zero-undetected oracle. With verification off, a delivery flagged
+/// non-intact has the wire's bit flip applied to the raw bytes: the
+/// receiver consumes poison without noticing (the ablation baseline).
+fn open_payload(w: &mut RtWorld, wire: &[u8], intact: bool) -> Vec<u8> {
+    if verify_on(w) {
+        return frame::open(wire)
+            .expect("verified transfer delivered a corrupt frame (undetected corruption)")
+            .to_vec();
+    }
+    let mut payload = wire.to_vec();
+    if !intact {
+        let salt = w.net.faults_mut().map(|f| f.corruption_salt()).unwrap_or(1);
+        frame::corrupt_in_place(&mut payload, salt);
+    }
+    payload
+}
+
+/// Draw from the fault plan's at-rest rot arm for a buffer entering
+/// long-lived storage (a persistent replica or a checkpoint shard); a
+/// strike flips one bit. No-op (and no generator advance) unless the
+/// fault plan configures rot.
+fn rot_payload(w: &mut RtWorld, bytes: &mut Vec<u8>) {
+    let Some(f) = w.net.faults_mut() else { return };
+    if f.rot_strikes() {
+        let salt = f.corruption_salt();
+        frame::corrupt_in_place(bytes, salt);
+        w.monitor.integrity.rot_injected += 1;
+    }
+}
+
 /// A runtime message parked in the coalescer: its semantic tag plus the
 /// continuation to run once the batch carrying it is delivered (`Some`
 /// handling-complete time) or definitively lost (`None`).
 struct PendingMsg {
     tag: Payload,
-    deliver: Box<dyn FnOnce(&mut RtSim, Option<SimTime>)>,
+    deliver: Box<dyn FnOnce(&mut RtSim, Option<Delivered>)>,
 }
 
 /// Send a runtime message through the batching layer. With batching off
@@ -852,14 +982,14 @@ fn send_deferred(
     to: usize,
     bytes: usize,
     tag: Payload,
-    deliver: impl FnOnce(&mut RtSim, Option<SimTime>) + 'static,
+    deliver: impl FnOnce(&mut RtSim, Option<Delivered>) + 'static,
 ) {
     debug_assert_ne!(from, to, "deferred sends are remote-only");
     let now = sim.now();
     if sim.world.batching.is_none() {
         match send_msg(&mut sim.world, now, from, to, bytes, tag, true) {
             Some(handled) => {
-                schedule_task_event(sim, handled, move |sim| deliver(sim, Some(handled)))
+                schedule_task_event(sim, handled.at, move |sim| deliver(sim, Some(handled)))
             }
             None => deliver(sim, None),
         }
@@ -918,12 +1048,13 @@ fn flush_batch(sim: &mut RtSim, batch: Batch<PendingMsg>) {
     let outcome = {
         let w = &mut sim.world;
         w.net
-            .transfer_batch(now, src, dst, batch.bytes, msgs, batch.cause, &w.retry_policy)
+            .transfer_batch_frame(now, src, dst, batch.bytes, msgs, batch.cause, &w.retry_policy)
     };
     match outcome {
-        Ok(arrival) => {
+        Ok(delivered) => {
             let w = &mut sim.world;
-            let handled = handle_msg(w, dst, arrival);
+            let handled = handle_msg(w, dst, delivered.at);
+            let intact = delivered.intact;
             let epoch = w.run_epoch;
             w.trace.record(|| {
                 TraceEvent::span(
@@ -969,8 +1100,14 @@ fn flush_batch(sim: &mut RtSim, batch: Batch<PendingMsg>) {
             }
             let entries = batch.entries;
             schedule_task_event(sim, handled, move |sim| {
+                // The wire verdict applies to the whole flush: one frame
+                // carried every member.
+                let arrival = Delivered {
+                    at: handled,
+                    intact,
+                };
                 for e in entries {
-                    (e.payload.deliver)(sim, Some(handled));
+                    (e.payload.deliver)(sim, Some(arrival));
                 }
             });
         }
@@ -1062,14 +1199,23 @@ fn live_target(w: &RtWorld, target: usize) -> usize {
 }
 
 /// The next live locality after `p` on the ring (successor heir rule).
-/// Locality 0 hosts the failure detector and is assumed immortal, so a
-/// live locality always exists.
+/// At least one live locality must remain — the runtime does not model
+/// whole-cluster loss.
 fn live_successor(w: &RtWorld, p: usize) -> usize {
     let nodes = w.localities.len();
     (1..nodes)
         .map(|d| (p + d) % nodes)
         .find(|&q| !w.dead[q])
         .expect("at least one live locality")
+}
+
+/// The locality hosting the cluster-global duties (failure detection,
+/// phase driving): the lowest-indexed locality not declared dead.
+/// Identical to locality 0 until 0 itself is declared dead — the duties
+/// then fail over to the next survivor instead of dying with their host
+/// (the detector is no longer a single point of failure).
+fn detector_host(w: &RtWorld) -> usize {
+    w.dead.iter().position(|d| !d).unwrap_or(0)
 }
 
 /// Resolve `region` of `item` from locality `at`, going through the
@@ -1144,11 +1290,14 @@ fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
     maybe_checkpoint(sim, prev.is_none());
     let phase = sim.world.phase;
     let now = sim.now();
+    // Phase orchestration is hosted by the detector locality: the lowest-
+    // indexed live one (locality 0 until a recovery declares it dead).
+    let home = detector_host(&sim.world);
     if phase > 0 {
         trace_instant(
             &sim.world,
             now,
-            0,
+            home,
             EventKind::PhaseEnd {
                 phase: phase as u32 - 1,
             },
@@ -1168,13 +1317,13 @@ fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
             trace_instant(
                 &sim.world,
                 now,
-                0,
+                home,
                 EventKind::PhaseBegin {
                     phase: phase as u32,
                 },
             );
             sim.world.phase += 1;
-            assign_task(sim, 0, root, None);
+            assign_task(sim, home, root, None);
         }
         None => {
             sim.world.done = true;
@@ -1200,7 +1349,7 @@ fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
     if !due {
         return;
     }
-    let snap = Checkpoint {
+    let mut snap = Checkpoint {
         per_locality: sim
             .world
             .localities
@@ -1210,12 +1359,25 @@ fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
     };
     let now = sim.now();
     let w = &mut sim.world;
+    // Per-shard checksums are computed over the in-memory bytes; the
+    // *stored* copy may then rot at rest (the fault plan's rot arm), in
+    // which case verification at restore time catches the mismatch.
+    let mut sums: Vec<Vec<u64>> = Vec::with_capacity(snap.per_locality.len());
+    for shards in &mut snap.per_locality {
+        let mut row = Vec::with_capacity(shards.len());
+        for (_, bytes) in shards.iter_mut() {
+            row.push(frame::fnv1a64(bytes));
+            rot_payload(w, bytes);
+        }
+        sums.push(row);
+    }
     w.monitor.resilience.checkpoints += 1;
     w.monitor.resilience.checkpoint_bytes += snap.bytes() as u64;
+    let host = detector_host(w);
     trace_instant(
         w,
         now,
-        0,
+        host,
         EventKind::Checkpoint {
             phase: phase as u32,
             bytes: snap.bytes() as u64,
@@ -1225,52 +1387,103 @@ fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
     w.resilience
         .as_mut()
         .expect("resilience enabled")
-        .save(phase, snap, tasks_done);
+        .save(phase, snap, sums, tasks_done);
 }
 
-/// One round of the failure detector: locality 0 pings every live peer
-/// (ping + ack as control messages on the faulty network, no retries —
-/// the suspicion counter *is* the retry), declares localities dead after
-/// `suspicion_threshold` consecutive silent rounds, and rearms itself.
+/// One round of the failure detector: the host locality (the lowest
+/// survivor, locality 0 until it dies) pings every live peer (ping + ack
+/// as priority probes on the faulty network — [`Network::probe`] — with
+/// no retries; the suspicion counter *is* the retry), declares
+/// localities dead after `suspicion_threshold` consecutive silent
+/// rounds, and rearms itself. The next live locality probes the host in
+/// turn, so a dead host is itself detected instead of silencing the
+/// detector.
 fn heartbeat_tick(sim: &mut RtSim) {
     if sim.world.done {
         return; // stop rearming: lets the event queue drain
     }
     let now = sim.now();
     let nodes = sim.world.localities.len();
-    let ctrl = sim.world.cost.control_msg_bytes;
     let threshold = match &sim.world.resilience {
         Some(mgr) => mgr.cfg.suspicion_threshold,
         None => return,
     };
+    let host = detector_host(&sim.world);
+    // Fail-stop ground truth: a crashed process executes nothing, so an
+    // (undetectedly) dead host runs no probe round of its own. The
+    // backup probe below is what eventually notices the host.
+    let host_up = !sim
+        .world
+        .net
+        .faults()
+        .is_some_and(|f| f.is_dead(host, now));
     let mut detected: Vec<usize> = Vec::new();
-    for p in 1..nodes {
-        if sim.world.dead[p] {
-            continue;
-        }
-        sim.world.monitor.resilience.heartbeats += 1;
-        let alive = match sim.world.net.try_transfer(now, 0, p, ctrl) {
-            Ok(arr) => sim.world.net.try_transfer(arr, p, 0, ctrl).is_ok(),
-            Err(_) => false,
-        };
-        let mgr = sim.world.resilience.as_mut().expect("resilience enabled");
-        if alive {
-            mgr.misses[p] = 0;
-        } else {
-            mgr.misses[p] += 1;
-            let misses = mgr.misses[p];
-            if misses >= threshold {
-                detected.push(p);
+    if host_up {
+        for p in 0..nodes {
+            if p == host || sim.world.dead[p] {
+                continue;
             }
-            trace_instant(
-                &sim.world,
-                now,
-                0,
-                EventKind::Suspicion {
-                    suspect: p as u32,
-                    misses,
-                },
-            );
+            sim.world.monitor.resilience.heartbeats += 1;
+            let alive = match sim.world.net.probe(now, host, p) {
+                Ok(arr) => sim.world.net.probe(arr, p, host).is_ok(),
+                Err(_) => false,
+            };
+            let mgr = sim.world.resilience.as_mut().expect("resilience enabled");
+            if alive {
+                mgr.misses[p] = 0;
+            } else {
+                mgr.misses[p] += 1;
+                let misses = mgr.misses[p];
+                if misses >= threshold {
+                    detected.push(p);
+                }
+                trace_instant(
+                    &sim.world,
+                    now,
+                    host,
+                    EventKind::Suspicion {
+                        suspect: p as u32,
+                        misses,
+                    },
+                );
+            }
+        }
+    }
+    // Backup probe of the host by its lowest live peer: the detection
+    // duty must not die with its host (the old single point of failure —
+    // a dead locality 0 silenced detection entirely).
+    let backup = (host + 1..nodes).find(|&p| !sim.world.dead[p]);
+    if let Some(backup) = backup {
+        let backup_up = !sim
+            .world
+            .net
+            .faults()
+            .is_some_and(|f| f.is_dead(backup, now));
+        if backup_up {
+            sim.world.monitor.resilience.heartbeats += 1;
+            let alive = match sim.world.net.probe(now, backup, host) {
+                Ok(arr) => sim.world.net.probe(arr, host, backup).is_ok(),
+                Err(_) => false,
+            };
+            let mgr = sim.world.resilience.as_mut().expect("resilience enabled");
+            if alive {
+                mgr.misses[host] = 0;
+            } else {
+                mgr.misses[host] += 1;
+                let misses = mgr.misses[host];
+                if misses >= threshold {
+                    detected.push(host);
+                }
+                trace_instant(
+                    &sim.world,
+                    now,
+                    backup,
+                    EventKind::Suspicion {
+                        suspect: host as u32,
+                        misses,
+                    },
+                );
+            }
         }
     }
     for p in detected {
@@ -1286,16 +1499,168 @@ fn heartbeat_tick(sim: &mut RtSim) {
     sim.schedule(period, heartbeat_tick);
 }
 
+/// One pass of the background replica scrubber: every live locality
+/// holding persistent replicas fingerprints them against the owning
+/// locality's authoritative copy (FNV-1a over the serialized overlap,
+/// exchanged as a billed control round-trip). A divergent replica is
+/// repaired with a fresh, billed copy from the owner; a replica that
+/// diverges [`IntegrityConfig::quarantine_after`] times is evicted
+/// instead — a holder that keeps rotting the same item is not worth
+/// re-shipping to, and readers fall back to on-demand replication.
+///
+/// The scrubber runs on the simulated clock independently of phase
+/// boundaries, so long phases still get audited; like the heartbeat it
+/// survives recoveries (it is not epoch-guarded) because replica
+/// hygiene is orthogonal to which phase is executing.
+fn scrub_tick(sim: &mut RtSim) {
+    if sim.world.done {
+        return; // stop rearming: lets the event queue drain
+    }
+    let Some(period) = sim
+        .world
+        .integrity
+        .as_ref()
+        .and_then(|m| m.cfg.scrub_period)
+    else {
+        return;
+    };
+    let quarantine_after = sim
+        .world
+        .integrity
+        .as_ref()
+        .expect("integrity enabled")
+        .cfg
+        .quarantine_after;
+    let now = sim.now();
+    let nodes = sim.world.localities.len();
+    let ctrl = sim.world.cost.control_msg_bytes;
+    let items: Vec<ItemId> = sim.world.item_descs.keys().copied().collect();
+    for holder in 0..nodes {
+        if sim.world.dead[holder] {
+            continue;
+        }
+        let mut audited = 0u32;
+        let mut divergent = 0u32;
+        for &item in &items {
+            let held = sim.world.localities[holder].dim.persistent_region(item);
+            if held.is_empty_dyn() {
+                continue;
+            }
+            for owner in 0..nodes {
+                if owner == holder || sim.world.dead[owner] {
+                    continue;
+                }
+                let overlap = sim.world.localities[owner]
+                    .dim
+                    .persistent_export_region(item)
+                    .intersect_dyn(held.as_ref());
+                if overlap.is_empty_dyn() {
+                    continue;
+                }
+                audited += 1;
+                sim.world.monitor.integrity.replicas_scrubbed += 1;
+                // Fingerprint exchange: request + digest reply, both
+                // billed control messages. A lost leg skips this audit —
+                // the next pass retries.
+                let tag = Payload::data(TransferPurpose::Control, None, item);
+                let Some(t) = send(&mut sim.world, now, holder, owner, ctrl, tag) else {
+                    continue;
+                };
+                let tag = Payload::data(TransferPurpose::Control, None, item);
+                let Some(t) = send(&mut sim.world, t, owner, holder, ctrl, tag) else {
+                    continue;
+                };
+                let mine = frame::fnv1a64(
+                    &sim.world.localities[holder].dim.peek_bytes(item, overlap.as_ref()),
+                );
+                let theirs = frame::fnv1a64(
+                    &sim.world.localities[owner].dim.peek_bytes(item, overlap.as_ref()),
+                );
+                if mine == theirs {
+                    continue;
+                }
+                divergent += 1;
+                sim.world.monitor.integrity.scrub_divergent += 1;
+                let strikes = sim
+                    .world
+                    .integrity
+                    .as_mut()
+                    .expect("integrity enabled")
+                    .strike(holder, item);
+                if strikes >= quarantine_after {
+                    sim.world.localities[holder].dim.drop_persistent(item);
+                    sim.world.monitor.integrity.quarantines += 1;
+                    trace_instant(
+                        &sim.world,
+                        t,
+                        holder,
+                        EventKind::Quarantine {
+                            item: item.0 as u32,
+                            strikes,
+                        },
+                    );
+                    break; // replica evicted: nothing left to audit
+                }
+                // Repair: a fresh billed copy from the owner, sealed and
+                // verified like any other data transfer.
+                let bytes = sim.world.localities[owner].dim.peek_bytes(item, overlap.as_ref());
+                let wire = seal_payload(&sim.world, bytes);
+                let tag = Payload::data(TransferPurpose::Scrub, None, item);
+                let Some(d) = send_msg(&mut sim.world, t, owner, holder, wire.len(), tag, false)
+                else {
+                    continue;
+                };
+                let mut data = open_payload(&mut sim.world, &wire, d.intact);
+                // The repair lands on the same storage that rotted the
+                // replica: a holder whose medium keeps striking will
+                // re-diverge and eventually hit the quarantine threshold.
+                rot_payload(&mut sim.world, &mut data);
+                sim.world.localities[holder].dim.import_persistent(item, &data);
+                sim.world.monitor.integrity.scrub_repairs += 1;
+                trace_instant(
+                    &sim.world,
+                    d.at,
+                    holder,
+                    EventKind::ScrubRepair {
+                        item: item.0 as u32,
+                        owner: owner as u32,
+                        bytes: data.len() as u64,
+                    },
+                );
+            }
+        }
+        if audited > 0 {
+            trace_instant(
+                &sim.world,
+                now,
+                holder,
+                EventKind::ScrubPass {
+                    replicas: audited,
+                    divergent,
+                },
+            );
+        }
+    }
+    sim.world.monitor.integrity.scrub_passes += 1;
+    sim.schedule(period, scrub_tick);
+}
+
 /// Declare `dead` failed and orchestrate recovery: discard the in-flight
 /// phase (epoch bump makes its pending events no-ops), rewind every
-/// locality to the last checkpoint, graft the dead locality's shards onto
-/// its live ring successor, re-advertise all ownership in the index with
-/// a location-cache epoch bump, and replay from the checkpointed phase
-/// boundary. Safe by the model's Section 2.5 properties: checkpointed
-/// data is preserved, and a task either completed before the checkpoint
-/// (its effects are in the snapshot) or re-runs from it — never both.
+/// locality to the newest *verifiable* checkpoint, graft the dead
+/// locality's shards onto its live ring successor, re-advertise all
+/// ownership in the index with a location-cache epoch bump, and replay
+/// from the checkpointed phase boundary. Safe by the model's Section 2.5
+/// properties: checkpointed data is preserved, and a task either
+/// completed before the checkpoint (its effects are in the snapshot) or
+/// re-runs from it — never both.
+///
+/// With checkpoint verification on, every shard's stored checksum is
+/// re-checked first: a checkpoint with any corrupt shard is abandoned
+/// for good and recovery falls back to the previous retained checkpoint,
+/// or to a full restart when none survives — restoring rotted state
+/// would violate data preservation far more subtly than restarting.
 fn detect_and_recover(sim: &mut RtSim, dead: usize) {
-    assert_ne!(dead, 0, "locality 0 hosts the detector (assumed immortal)");
     if sim.world.dead[dead] {
         return;
     }
@@ -1310,10 +1675,50 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
             w.monitor.resilience.detection_latency_ns += (now - t0).as_nanos();
         }
     }
-    let mgr = w.resilience.as_mut().expect("resilience enabled");
-    let tasks_at_checkpoint = mgr.tasks_at_checkpoint;
-    let saved = mgr.last.clone();
-    mgr.misses.fill(0);
+    let (tasks_at_checkpoint, mut candidates) = {
+        let mgr = w.resilience.as_mut().expect("resilience enabled");
+        mgr.misses.fill(0);
+        (mgr.tasks_at_checkpoint, std::mem::take(&mut mgr.saved))
+    };
+    let verify = w
+        .integrity
+        .as_ref()
+        .is_some_and(|m| m.cfg.verify_checkpoints);
+    let mut saved: Option<SavedCheckpoint> = None;
+    while let Some(c) = candidates.pop() {
+        if verify {
+            let bad: u64 = c
+                .snap
+                .per_locality
+                .iter()
+                .zip(&c.sums)
+                .map(|(shards, sums)| {
+                    shards
+                        .iter()
+                        .zip(sums)
+                        .filter(|((_, bytes), sum)| frame::fnv1a64(bytes) != **sum)
+                        .count() as u64
+                })
+                .sum();
+            if bad > 0 {
+                w.monitor.integrity.checkpoint_shards_rejected += bad;
+                w.monitor.integrity.checkpoint_fallbacks += 1;
+                continue; // corrupt checkpoint abandoned for good
+            }
+        }
+        saved = Some(c);
+        break;
+    }
+    // Reinstate the surviving history (older candidates + the chosen
+    // checkpoint); rejected checkpoints stay dropped so a later recovery
+    // does not re-try them.
+    {
+        let mgr = w.resilience.as_mut().expect("resilience enabled");
+        mgr.saved = candidates;
+        if let Some(c) = &saved {
+            mgr.saved.push(c.clone());
+        }
+    }
     let reexecuted = w.monitor.total_tasks().saturating_sub(tasks_at_checkpoint);
     w.monitor.resilience.tasks_reexecuted += reexecuted;
     // Discard the in-flight phase's bookkeeping; its scheduled events are
@@ -1330,7 +1735,7 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
     }
     let nodes = w.localities.len();
     let grafted: u64 = match saved {
-        Some(SavedCheckpoint { phase, snap }) => {
+        Some(SavedCheckpoint { phase, snap, .. }) => {
             // Pass 1: rewind every survivor, wipe every dead locality
             // (fail-stop: a crashed process loses its volatile data).
             for p in 0..nodes {
@@ -1384,10 +1789,11 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
             0
         }
     };
+    let host = detector_host(w);
     trace_instant(
         w,
         now,
-        0,
+        host,
         EventKind::Recovery {
             dead: dead as u32,
             phase: w.phase as u32,
@@ -1708,6 +2114,7 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                 let bytes = sim.world.localities[src]
                     .dim
                     .export_migration(item, region.as_ref());
+                let bytes = seal_payload(&sim.world, bytes);
                 let src_owned = sim.world.localities[src].dim.owned_region(item);
                 let hops = index_update(&mut sim.world, now, item, src, src_owned);
                 bill_hops(&mut sim.world, now, &hops, Some(item));
@@ -1720,11 +2127,12 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                     let len = bytes.len();
                     let tag = Payload::data(TransferPurpose::Migrate, Some(tid), item);
                     send_deferred(sim, src, loc, len, tag, move |sim, arr| {
-                        if arr.is_none() {
+                        let Some(d) = arr else {
                             return;
-                        }
+                        };
+                        let data = open_payload(&mut sim.world, &bytes, d.intact);
                         let loc2 = sim.world.inflight[&tid].loc;
-                        sim.world.localities[loc2].dim.import_owned(item, &bytes);
+                        sim.world.localities[loc2].dim.import_owned(item, &data);
                         let owned = sim.world.localities[loc2].dim.owned_region(item);
                         let t = sim.now();
                         let hops = index_update(&mut sim.world, t, item, loc2, owned);
@@ -1742,6 +2150,7 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                     loc,
                     tid,
                 );
+                let bytes = seal_payload(&sim.world, bytes);
                 let region2 = region.clone_box();
                 let ctrl = sim.world.cost.control_msg_bytes;
                 let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
@@ -1752,11 +2161,12 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                     let len = bytes.len();
                     let tag = Payload::data(TransferPurpose::Replicate, Some(tid), item);
                     send_deferred(sim, src, loc, len, tag, move |sim, arr| {
-                        if arr.is_none() {
+                        let Some(d) = arr else {
                             return;
-                        }
+                        };
+                        let data = open_payload(&mut sim.world, &bytes, d.intact);
                         let loc2 = sim.world.inflight[&tid].loc;
-                        sim.world.localities[loc2].dim.import_replica(item, &bytes, tid);
+                        sim.world.localities[loc2].dim.import_replica(item, &data, tid);
                         sim.world.monitor.per_locality[loc2].replicas_in += 1;
                         sim.world
                             .inflight

@@ -3,10 +3,11 @@
 //! against sequential oracles.
 
 use allscale_core::{
-    pfor, CostModel, DataAwarePolicy, Grid, PforSpec, Requirement, RtConfig, RtCtx, Runtime,
-    TaskValue, WorkItem,
+    pfor, CostModel, DataAwarePolicy, FaultPlan, Grid, IntegrityConfig, PforSpec, Requirement,
+    ResilienceConfig, RtConfig, RtCtx, Runtime, TaskValue, WorkItem,
 };
-use allscale_region::{BoxRegion, GridBox, GridFragment, Point};
+use allscale_des::{SimDuration, SimTime};
+use allscale_region::{BoxRegion, GridBox, GridFragment, Point, Region};
 
 fn config(nodes: usize, cores: usize) -> RtConfig {
     RtConfig::test(nodes, cores)
@@ -885,6 +886,388 @@ fn verify_consistency_flags_migrated_fenced_region() {
             }
         },
     );
+}
+
+/// A small phased program for the fault/integrity tests: fill
+/// `g[i] = i`, bump every cell once per step phase, then read back the
+/// exact expected values. Returns the number of cells verified (driver
+/// side, after the last phase) plus the report.
+fn bump_roundtrip(cfg: RtConfig, steps: usize) -> (u64, allscale_core::RunReport) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    const N: i64 = 96;
+    let st: Rc<RefCell<(Option<Grid<f64, 1>>, u64)>> = Rc::new(RefCell::new((None, 0)));
+    let s2 = st.clone();
+    let rt = Runtime::new(cfg);
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            if phase == 0 {
+                let g = Grid::<f64, 1>::create(ctx, "v", [N]);
+                s2.borrow_mut().0 = Some(g);
+                return Some(pfor(
+                    PforSpec {
+                        name: "fill",
+                        range: g.full_box(),
+                        grain: 12,
+                        ns_per_point: 4.0,
+                        axis0_pieces: 8,
+                    },
+                    move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                    move |tctx, p| g.set(tctx, p.0, p[0] as f64),
+                ));
+            }
+            let g = s2.borrow().0.unwrap();
+            if phase <= steps {
+                return Some(pfor(
+                    PforSpec {
+                        name: "bump",
+                        range: g.full_box(),
+                        grain: 12,
+                        ns_per_point: 4.0,
+                        axis0_pieces: 8,
+                    },
+                    move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                    move |tctx, p| {
+                        let v = g.get(tctx, p.0);
+                        g.set(tctx, p.0, v + 1.0);
+                    },
+                ));
+            }
+            // Driver-side readback: data preservation + single execution.
+            let mut seen = 0u64;
+            for loc in 0..ctx.nodes() {
+                let frag = ctx.fragment_at::<GridFragment<f64, 1>>(loc, g.id);
+                frag.for_each(|p, v| {
+                    assert_eq!(*v, p[0] as f64 + steps as f64, "cell {p:?}");
+                    seen += 1;
+                });
+            }
+            assert_eq!(seen, N as u64, "grid fully covered after faults");
+            s2.borrow_mut().1 = seen;
+            None
+        },
+    );
+    let seen = st.borrow().1;
+    (seen, report)
+}
+
+/// Regression for the detector single point of failure: killing locality
+/// 0 — the failure-detector host — must fail the detection duty over to
+/// the next live locality instead of silencing it. The death is still
+/// detected, recovery still runs, and the application completes with
+/// exact results.
+#[test]
+fn detector_host_death_fails_over_and_recovers() {
+    // Size the kill against a clean run of the same program.
+    let (_, clean) = bump_roundtrip(config(4, 2), 2);
+    let total = clean.finish_time.as_nanos();
+
+    let mut plan = FaultPlan::new(0xdead_0);
+    plan.kill_at(0, SimTime::from_nanos(total * 6 / 10));
+    let mut cfg = config(4, 2);
+    cfg.faults = Some(plan);
+    cfg.resilience = Some(ResilienceConfig {
+        checkpoint_every: 1,
+        heartbeat_period: SimDuration::from_nanos((total / 50).max(500)),
+        ..ResilienceConfig::default()
+    });
+    let (seen, report) = bump_roundtrip(cfg, 2);
+    assert_eq!(seen, 96, "readback ran after recovery");
+    let r = &report.monitor.resilience;
+    assert!(
+        r.detections >= 1 && r.recoveries >= 1,
+        "locality 0's death must be detected by the backup probe ({r:?})"
+    );
+    assert!(
+        r.detection_latency_ns > 0,
+        "detection after the death, driven by heartbeats ({r:?})"
+    );
+}
+
+/// Regression for a post-recovery livelock: a driver-initiated
+/// `migrate_region` whose destination the detector has declared dead
+/// must be remapped to a live locality (the `live_target` rule task
+/// placement already follows). Without the remap the dead locality is
+/// re-advertised as the region's owner, every later task's transfer
+/// request to it is lost, and the phase stalls forever — with no
+/// further death for the detector to recover from.
+#[test]
+fn driver_migration_to_dead_locality_is_remapped() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    const N: i64 = 96;
+    const STEPS: usize = 3;
+    const VICTIM: usize = 1;
+
+    fn run(cfg: RtConfig, victim_dies: bool) -> (u64, allscale_core::RunReport) {
+        let st: Rc<RefCell<(Option<Grid<f64, 1>>, u64)>> = Rc::new(RefCell::new((None, 0)));
+        let s2 = st.clone();
+        let report = Runtime::new(cfg).run(
+            move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+                if phase == 0 {
+                    let g = Grid::<f64, 1>::create(ctx, "v", [N]);
+                    s2.borrow_mut().0 = Some(g);
+                    return Some(pfor(
+                        PforSpec {
+                            name: "fill",
+                            range: g.full_box(),
+                            grain: 12,
+                            ns_per_point: 4.0,
+                            axis0_pieces: 8,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g.set(tctx, p.0, p[0] as f64),
+                    ));
+                }
+                let g = s2.borrow().0.unwrap();
+                if phase <= STEPS {
+                    // Stubbornly migrate a slice into the victim at every
+                    // boundary — exactly what a dead-host-oblivious
+                    // balancing policy does. Post-recovery boundaries
+                    // must be remapped off the corpse.
+                    let slice = BoxRegion::<1>::cuboid([0], [24]);
+                    for src in 0..ctx.nodes() {
+                        if src == VICTIM {
+                            continue;
+                        }
+                        let owned = ctx.owned_region_at(src, g.id);
+                        let owned = owned
+                            .as_any()
+                            .downcast_ref::<BoxRegion<1>>()
+                            .expect("1-D grid region")
+                            .clone();
+                        let moved = owned.intersect(&slice);
+                        if !moved.is_empty() {
+                            ctx.migrate_region(g.id, &moved, src, VICTIM);
+                            break;
+                        }
+                    }
+                    return Some(pfor(
+                        PforSpec {
+                            name: "bump",
+                            range: g.full_box(),
+                            grain: 12,
+                            ns_per_point: 4.0,
+                            axis0_pieces: 8,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| {
+                            let v = g.get(tctx, p.0);
+                            g.set(tctx, p.0, v + 1.0);
+                        },
+                    ));
+                }
+                let mut seen = 0u64;
+                for loc in 0..ctx.nodes() {
+                    let frag = ctx.fragment_at::<GridFragment<f64, 1>>(loc, g.id);
+                    frag.for_each(|p, v| {
+                        assert_eq!(*v, p[0] as f64 + STEPS as f64, "cell {p:?}");
+                        seen += 1;
+                    });
+                }
+                assert_eq!(seen, N as u64, "grid fully covered after faults");
+                // The detector knows the victim is dead: no post-recovery
+                // migration may have handed it ownership back. (In the
+                // clean sizing run the victim is a legitimate target.)
+                if victim_dies {
+                    assert!(
+                        ctx.owned_region_at(VICTIM, g.id).is_empty_dyn(),
+                        "dead locality must not own data after recovery"
+                    );
+                }
+                s2.borrow_mut().1 = seen;
+                None
+            },
+        );
+        let seen = st.borrow().1;
+        (seen, report)
+    }
+
+    // Size the kill early against a clean run: the death lands before
+    // most migration boundaries, so several of them target the corpse.
+    let (_, clean) = run(config(4, 2), false);
+    let total = clean.finish_time.as_nanos();
+
+    let mut plan = FaultPlan::new(0xdead_2);
+    plan.kill_at(VICTIM, SimTime::from_nanos(total * 3 / 10));
+    let mut cfg = config(4, 2);
+    cfg.faults = Some(plan);
+    cfg.resilience = Some(ResilienceConfig {
+        checkpoint_every: 1,
+        heartbeat_period: SimDuration::from_nanos((total / 50).max(500)),
+        ..ResilienceConfig::default()
+    });
+    let (seen, report) = run(cfg, true);
+    assert_eq!(seen, 96, "run must complete — a stalled phase here is the livelock");
+    let r = &report.monitor.resilience;
+    assert!(
+        r.detections >= 1 && r.recoveries >= 1,
+        "the victim's death must have been detected ({r:?})"
+    );
+}
+
+/// Checksummed transfers under silent wire corruption: with the
+/// integrity service on, every corrupt delivery is detected and
+/// re-requested, and the final data is bit-identical to a fault-free
+/// run — zero undetected corruptions reach application state.
+#[test]
+fn checksummed_transfers_mask_wire_corruption() {
+    let (clean_seen, _) = bump_roundtrip(config(4, 2), 2);
+
+    let mut cfg = config(4, 2);
+    cfg.faults = Some(FaultPlan::new(0xc0ffee).with_corruption(0.1));
+    cfg = cfg.with_integrity(IntegrityConfig {
+        scrub_period: None, // isolate the wire-verification path
+        ..IntegrityConfig::default()
+    });
+    // bump_roundtrip asserts exact values internally, so completing at
+    // all proves the corrupted run computed the same data.
+    let (seen, report) = bump_roundtrip(cfg, 2);
+    assert_eq!(seen, clean_seen);
+    let g = &report.monitor.integrity;
+    assert!(
+        g.wire_corruptions > 0 && g.wire_detected > 0,
+        "the 2% corruption arm must have struck and been caught ({g:?})"
+    );
+    assert_eq!(g.wire_undetected, 0, "verification must catch every hit ({g:?})");
+    assert!(
+        g.re_requests > 0,
+        "detected corruptions are re-requested, not consumed ({g:?})"
+    );
+}
+
+/// Replica rot, scrubbed: broadcast replicas rot at rest (rot arm at
+/// 100%), the background scrubber detects the divergence against the
+/// owner, repairs it, and — when the holder's storage keeps striking —
+/// quarantines the replica after `quarantine_after` divergences. The
+/// owner's authoritative copy stays pristine throughout.
+#[test]
+fn scrubber_repairs_and_quarantines_rotting_replicas() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    const N: i64 = 64;
+    let st: Rc<RefCell<Option<(Grid<f64, 1>, Grid<f64, 1>)>>> = Rc::new(RefCell::new(None));
+    let s2 = st.clone();
+
+    let mut cfg = config(2, 2);
+    cfg.faults = Some(FaultPlan::new(7).with_rot(1.0));
+    cfg = cfg.with_integrity(IntegrityConfig {
+        scrub_period: Some(SimDuration::from_micros(3)),
+        ..IntegrityConfig::default()
+    });
+    let rt = Runtime::new(cfg);
+    let report = rt.run(
+        move |phase: usize, ctx: &mut RtCtx<'_>, _prev: TaskValue| -> Option<Box<dyn WorkItem>> {
+            match phase {
+                0 => {
+                    // The broadcast item, kept whole on one owner, and a
+                    // separate work grid to keep virtual time advancing
+                    // while the scrubber runs.
+                    let g = Grid::<f64, 1>::create(ctx, "shared", [N]);
+                    let w = Grid::<f64, 1>::create(ctx, "work", [256]);
+                    *s2.borrow_mut() = Some((g, w));
+                    Some(pfor(
+                        PforSpec {
+                            name: "init",
+                            range: g.full_box(),
+                            grain: 64,
+                            ns_per_point: 4.0,
+                            axis0_pieces: 0,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g.set(tctx, p.0, p[0] as f64),
+                    ))
+                }
+                1 => {
+                    let (g, w) = s2.borrow().unwrap();
+                    let owner = (0..ctx.nodes())
+                        .find(|&l| !ctx.owned_region_at(l, g.id).is_empty_dyn())
+                        .expect("grid owned somewhere");
+                    // The import rots on arrival (rot arm at 100%), so the
+                    // replica diverges from the owner immediately.
+                    ctx.broadcast_replicate(g.id, owner, &g.full_region());
+                    Some(work_phase(w))
+                }
+                2..=6 => Some(work_phase(s2.borrow().unwrap().1)),
+                _ => {
+                    // The owner's copy must be pristine: rot strikes
+                    // replicas at rest, never the authoritative data.
+                    let (g, _) = s2.borrow().unwrap();
+                    let owner = (0..ctx.nodes())
+                        .find(|&l| !ctx.owned_region_at(l, g.id).is_empty_dyn())
+                        .unwrap();
+                    let frag = ctx.fragment_at::<GridFragment<f64, 1>>(owner, g.id);
+                    let mut seen = 0;
+                    frag.for_each(|p, v| {
+                        assert_eq!(*v, p[0] as f64, "owner copy at {p:?}");
+                        seen += 1;
+                    });
+                    assert_eq!(seen, N);
+                    None
+                }
+            }
+        },
+    );
+    fn work_phase(w: Grid<f64, 1>) -> Box<dyn WorkItem> {
+        pfor(
+            PforSpec {
+                name: "work",
+                range: w.full_box(),
+                grain: 32,
+                ns_per_point: 60.0,
+                axis0_pieces: 4,
+            },
+            move |tile| vec![Requirement::write(w.id, BoxRegion::from_box(*tile))],
+            move |tctx, p| w.set(tctx, p.0, 1.0),
+        )
+    }
+    let g = &report.monitor.integrity;
+    assert!(g.rot_injected >= 1, "the rot arm must have struck ({g:?})");
+    assert!(
+        g.scrub_passes >= 3 && g.replicas_scrubbed >= 1,
+        "the scrubber must have audited the replica ({g:?})"
+    );
+    assert!(
+        g.scrub_divergent >= 1 && g.scrub_repairs >= 1,
+        "divergence detected and repaired ({g:?})"
+    );
+    assert!(
+        g.quarantines >= 1,
+        "a holder that keeps rotting is quarantined ({g:?})"
+    );
+}
+
+/// Checkpoint verification: with the rot arm striking every stored
+/// shard, recovery must reject the corrupt checkpoints and fall back to
+/// a full restart rather than restore rotted state — and the restarted
+/// run still produces exact results.
+#[test]
+fn recovery_rejects_rotted_checkpoints_and_restarts() {
+    let (_, clean) = bump_roundtrip(config(4, 2), 2);
+    let total = clean.finish_time.as_nanos();
+
+    let mut plan = FaultPlan::new(0xbad_cafe).with_rot(1.0);
+    plan.kill_at(2, SimTime::from_nanos(total * 7 / 10));
+    let mut cfg = config(4, 2);
+    cfg.faults = Some(plan);
+    cfg.resilience = Some(ResilienceConfig {
+        checkpoint_every: 1,
+        heartbeat_period: SimDuration::from_nanos((total / 50).max(500)),
+        ..ResilienceConfig::default()
+    });
+    cfg = cfg.with_integrity(IntegrityConfig {
+        scrub_period: None,
+        ..IntegrityConfig::default()
+    });
+    let (seen, report) = bump_roundtrip(cfg, 2);
+    assert_eq!(seen, 96, "restart still yields exact results");
+    let g = &report.monitor.integrity;
+    assert!(
+        g.checkpoint_shards_rejected > 0 && g.checkpoint_fallbacks >= 1,
+        "rotted checkpoints must be refused at restore ({g:?})"
+    );
+    assert!(g.rot_injected >= 1, "{g:?}");
+    assert!(report.monitor.resilience.recoveries >= 1);
 }
 
 /// Torus-topology clusters run the full stack too (ablation A4 plumbing).

@@ -12,7 +12,14 @@
 //! - **fail-stop node deaths** — a locality can be marked *dead* from a
 //!   chosen simulated time onward; after that instant it neither sends
 //!   nor receives (its volatile data is considered lost — wiping it is
-//!   the runtime's job, the network only refuses delivery).
+//!   the runtime's job, the network only refuses delivery);
+//! - **silent corruption** — a delivered message arrives with a bit
+//!   flipped ([`Verdict::Corrupt`]), and a replica sitting on disk can
+//!   *rot* between writes ([`FaultPlan::rot_strikes`]). Both draw from
+//!   generators seeded independently of the drop/delay stream, so
+//!   enabling corruption never perturbs the drop/delay sequence of an
+//!   otherwise identical run, and the three arms are statistically
+//!   independent.
 //!
 //! The plan is consulted by [`Network::try_transfer`] and the
 //! retry wrapper [`Network::transfer_with_retry`]; the plain infallible
@@ -36,6 +43,10 @@ pub enum TransferFault {
     ReceiverDead,
     /// The message was lost in transit (transient fault).
     Dropped,
+    /// The message arrived, but its payload was silently mangled and the
+    /// receiver's checksum verification caught it. Retryable, like
+    /// [`TransferFault::Dropped`] — the sender still holds the original.
+    Corrupted,
 }
 
 /// The verdict of [`FaultPlan::judge`] for one message attempt.
@@ -45,6 +56,9 @@ pub enum Verdict {
     Deliver,
     /// Deliver, but `SimDuration` later than the cost model says.
     Delay(SimDuration),
+    /// Deliver on time, but with the payload silently mangled in transit.
+    /// Whether anyone *notices* is the integrity layer's business.
+    Corrupt,
     /// Do not deliver.
     Fault(TransferFault),
 }
@@ -57,8 +71,12 @@ pub enum Verdict {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     state: u64,
+    corrupt_state: u64,
+    rot_state: u64,
     drop_ppm: u32,
     delay_ppm: u32,
+    corrupt_ppm: u32,
+    rot_ppm: u32,
     delay: SimDuration,
     deaths: BTreeMap<usize, SimTime>,
 }
@@ -68,8 +86,15 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            // Corruption and rot get their own generators, seeded with
+            // different odd mixing constants: turning either arm on must
+            // not advance (and thereby reshuffle) the drop/delay stream.
+            corrupt_state: seed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1,
+            rot_state: seed.wrapping_mul(0x94d0_49bb_1331_11eb) | 1,
             drop_ppm: 0,
             delay_ppm: 0,
+            corrupt_ppm: 0,
+            rot_ppm: 0,
             delay: SimDuration::ZERO,
             deaths: BTreeMap::new(),
         }
@@ -86,6 +111,52 @@ impl FaultPlan {
         self.delay_ppm = (p.clamp(0.0, 1.0) * 1e6) as u32;
         self.delay = delay;
         self
+    }
+
+    /// Silently corrupt each delivered message's payload with
+    /// probability `p` (clamped to `[0, 1]`). Drawn from a generator
+    /// independent of the drop/delay stream.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corrupt_ppm = (p.clamp(0.0, 1.0) * 1e6) as u32;
+        self
+    }
+
+    /// Let each replica/checkpoint shard *rot at rest* with probability
+    /// `p` (clamped to `[0, 1]`) per [`FaultPlan::rot_strikes`] draw.
+    /// Consulted by storage-side callers (the runtime's replica imports
+    /// and checkpoint writer), never by the wire path.
+    pub fn with_rot(mut self, p: f64) -> Self {
+        self.rot_ppm = (p.clamp(0.0, 1.0) * 1e6) as u32;
+        self
+    }
+
+    /// The configured wire-corruption probability in parts per million.
+    pub fn corrupt_ppm(&self) -> u32 {
+        self.corrupt_ppm
+    }
+
+    /// The configured at-rest rot probability in parts per million.
+    pub fn rot_ppm(&self) -> u32 {
+        self.rot_ppm
+    }
+
+    /// Draw once from the at-rest rot arm: `true` means the buffer the
+    /// caller just stored decays and should be bit-flipped. Advances the
+    /// rot generator only when rot is configured, so plans without rot
+    /// stay byte-identical.
+    pub fn rot_strikes(&mut self) -> bool {
+        self.rot_ppm > 0 && Self::draw(&mut self.rot_state) < self.rot_ppm
+    }
+
+    /// A deterministic salt for choosing *which* bit a corruption flips,
+    /// drawn from the corruption generator's stream position.
+    pub fn corruption_salt(&mut self) -> u64 {
+        let mut x = self.corrupt_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.corrupt_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
     /// Mark `node` dead (fail-stop) from simulated time `at` onward.
@@ -105,9 +176,17 @@ impl FaultPlan {
 
     /// Judge one message attempt from `src` to `dst` submitted at `now`.
     ///
-    /// Death checks come first (they are schedule-independent); the
-    /// transient draws advance the seeded generator exactly once per
-    /// configured probability, keeping runs reproducible.
+    /// Death checks come first (they are schedule-independent). The
+    /// drop/delay draws advance the main generator exactly as they did
+    /// before corruption existed — one draw per configured probability,
+    /// delay drawn only when the message was not dropped — so the
+    /// drop/delay stream of a seed is invariant under the corruption
+    /// knob. The corruption draw comes from its own generator, advanced
+    /// once per remote judgement whenever corruption is configured (even
+    /// for messages that end up dropped), which keeps the arms
+    /// independent. Precedence: a dropped message cannot also arrive
+    /// corrupt; corruption preempts an injected delay (the mangled bytes
+    /// arrive on time — lateness would only make them easier to notice).
     pub fn judge(&mut self, now: SimTime, src: usize, dst: usize) -> Verdict {
         if self.is_dead(src, now) {
             return Verdict::Fault(TransferFault::SenderDead);
@@ -119,22 +198,33 @@ impl FaultPlan {
             // Local copies never traverse the faulty fabric.
             return Verdict::Deliver;
         }
-        if self.drop_ppm > 0 && self.draw_ppm() < self.drop_ppm {
-            return Verdict::Fault(TransferFault::Dropped);
+        let base = if self.drop_ppm > 0 && self.draw_ppm() < self.drop_ppm {
+            Verdict::Fault(TransferFault::Dropped)
+        } else if self.delay_ppm > 0 && self.draw_ppm() < self.delay_ppm {
+            Verdict::Delay(self.delay)
+        } else {
+            Verdict::Deliver
+        };
+        let corrupt = self.corrupt_ppm > 0 && Self::draw(&mut self.corrupt_state) < self.corrupt_ppm;
+        match base {
+            Verdict::Fault(f) => Verdict::Fault(f),
+            _ if corrupt => Verdict::Corrupt,
+            other => other,
         }
-        if self.delay_ppm > 0 && self.draw_ppm() < self.delay_ppm {
-            return Verdict::Delay(self.delay);
-        }
-        Verdict::Deliver
     }
 
-    /// One xorshift64* draw reduced to `[0, 1e6)`.
+    /// One xorshift64* draw of the main (drop/delay) generator.
     fn draw_ppm(&mut self) -> u32 {
-        let mut x = self.state;
+        Self::draw(&mut self.state)
+    }
+
+    /// Advance `state` by one xorshift64* step, reduced to `[0, 1e6)`.
+    fn draw(state: &mut u64) -> u32 {
+        let mut x = *state;
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
-        self.state = x;
+        *state = x;
         (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 1_000_000) as u32
     }
 }
@@ -230,6 +320,62 @@ mod tests {
             plan.judge(t(0), 0, 1),
             Verdict::Delay(SimDuration::from_nanos(777))
         );
+    }
+
+    #[test]
+    fn corruption_draws_are_deterministic_and_independent_of_drop_stream() {
+        // Same seed, corruption on/off: the drop outcomes must coincide
+        // attempt for attempt (corruption only upgrades non-faulted
+        // verdicts, never changes which attempts drop).
+        let drops = |corrupt: bool| {
+            let mut plan = FaultPlan::new(77).with_drop_rate(0.3);
+            if corrupt {
+                plan = plan.with_corruption(0.5);
+            }
+            (0..256)
+                .map(|i| plan.judge(t(i), 0, 1) == Verdict::Fault(TransferFault::Dropped))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(drops(false), drops(true));
+
+        let verdicts = |seed| {
+            let mut plan = FaultPlan::new(seed).with_corruption(0.4);
+            (0..256).map(|i| plan.judge(t(i), 0, 1)).collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(5), verdicts(5), "seeded stream is reproducible");
+        let corrupted = verdicts(5).iter().filter(|v| **v == Verdict::Corrupt).count();
+        assert!((50..160).contains(&corrupted), "rate wildly off: {corrupted}/256");
+    }
+
+    #[test]
+    fn corruption_preempts_delay_but_not_drops_or_deaths() {
+        let mut plan = FaultPlan::new(2)
+            .with_delay(1.0, SimDuration::from_nanos(500))
+            .with_corruption(1.0);
+        assert_eq!(plan.judge(t(0), 0, 1), Verdict::Corrupt);
+        let mut plan = FaultPlan::new(2).with_drop_rate(1.0).with_corruption(1.0);
+        assert_eq!(plan.judge(t(0), 0, 1), Verdict::Fault(TransferFault::Dropped));
+        let mut plan = FaultPlan::new(2).with_corruption(1.0);
+        plan.kill_at(1, t(0));
+        assert_eq!(
+            plan.judge(t(0), 0, 1),
+            Verdict::Fault(TransferFault::ReceiverDead)
+        );
+        // Local copies bypass the fabric and cannot corrupt in transit.
+        assert_eq!(plan.judge(t(0), 0, 0), Verdict::Deliver);
+    }
+
+    #[test]
+    fn rot_is_deterministic_and_off_by_default() {
+        let mut plan = FaultPlan::new(9);
+        assert!((0..100).all(|_| !plan.rot_strikes()));
+        let strikes = |seed| {
+            let mut plan = FaultPlan::new(seed).with_rot(0.3);
+            (0..100).map(|_| plan.rot_strikes()).collect::<Vec<_>>()
+        };
+        assert_eq!(strikes(4), strikes(4));
+        let hits = strikes(4).iter().filter(|&&s| s).count();
+        assert!((10..60).contains(&hits), "rate wildly off: {hits}/100");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!
 //! - [`wire`]: a compact binary serde format — all inter-locality data
 //!   movement is real serialized bytes, enforcing address-space separation;
+//! - [`frame`]: FNV-1a checksum framing over those bytes — the
+//!   end-to-end integrity boundary for transfers and checkpoint shards;
 //! - [`FatTree`] / [`SingleSwitch`]: hop-count topologies;
 //! - [`Network`]: LogGP-style accounting (latency + bandwidth + per-NIC
 //!   occupancy) shared by the AllScale runtime and the MPI baseline;
@@ -15,6 +17,7 @@
 mod cluster;
 pub mod coalesce;
 pub mod fault;
+pub mod frame;
 mod network;
 mod topology;
 pub mod wire;
@@ -22,5 +25,6 @@ pub mod wire;
 pub use cluster::{ClusterSpec, TopologyKind};
 pub use coalesce::{Batch, BatchParams, Coalescer, Enqueue, FlushCause};
 pub use fault::{FaultPlan, RetryPolicy, TransferFault, Verdict};
-pub use network::{NetParams, Network, TrafficStats};
+pub use frame::{FrameError, FRAME_OVERHEAD};
+pub use network::{Delivered, NetParams, Network, TrafficStats};
 pub use topology::{AnyTopology, FatTree, NodeId, SingleSwitch, Topology, Torus2D};

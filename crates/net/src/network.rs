@@ -112,6 +112,17 @@ pub struct TrafficStats {
     /// Flush counts by cause, indexed by `FlushCause as usize`
     /// (window, bytes, msgs).
     pub flushes_by_cause: [u64; 3],
+    /// Messages whose payload was silently mangled in transit (each
+    /// attempt counts, whether or not anyone noticed).
+    pub corrupted: u64,
+    /// Corrupted arrivals caught by checksum verification (integrity on).
+    pub corrupt_detected: u64,
+    /// Corrupted arrivals consumed unnoticed (integrity off — the
+    /// silent-corruption baseline the integrity layer exists to kill).
+    pub corrupt_undetected: u64,
+    /// Re-requests issued after a detected corruption (the integrity
+    /// analogue of [`TrafficStats::retries`]).
+    pub re_requests: u64,
 }
 
 impl TrafficStats {
@@ -125,6 +136,20 @@ impl TrafficStats {
     }
 }
 
+/// The arrival of one fallible transfer that was not refused outright.
+///
+/// `intact == false` means the payload was silently mangled in transit
+/// and nobody checked — possible only while checksum verification is off
+/// ([`Network::set_integrity`]); with integrity on, corrupt arrivals
+/// surface as [`TransferFault::Corrupted`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// When the message is fully available at the destination.
+    pub at: SimTime,
+    /// Whether the payload arrived bit-exact.
+    pub intact: bool,
+}
+
 /// The network accounting engine over a chosen topology.
 pub struct Network<T: Topology> {
     params: NetParams,
@@ -133,6 +158,7 @@ pub struct Network<T: Topology> {
     rx_busy: Vec<SimTime>,
     stats: TrafficStats,
     faults: Option<FaultPlan>,
+    integrity: bool,
     trace: TraceSink,
 }
 
@@ -147,8 +173,23 @@ impl<T: Topology> Network<T> {
             rx_busy: vec![SimTime::ZERO; n],
             stats: TrafficStats::default(),
             faults: None,
+            integrity: false,
             trace: TraceSink::disabled(),
         }
+    }
+
+    /// Enable (or disable) end-to-end checksum verification. With
+    /// integrity on, every corrupt arrival is caught at the receiver and
+    /// surfaces as [`TransferFault::Corrupted`] (retryable); with it off,
+    /// corrupt payloads are delivered as if nothing happened and only the
+    /// [`Delivered::intact`] flag of the `_frame` APIs betrays them.
+    pub fn set_integrity(&mut self, on: bool) {
+        self.integrity = on;
+    }
+
+    /// Whether checksum verification is enabled.
+    pub fn integrity(&self) -> bool {
+        self.integrity
     }
 
     /// Install a fault-injection plan; consulted by the fallible transfer
@@ -242,12 +283,31 @@ impl<T: Topology> Network<T> {
         dst: NodeId,
         bytes: usize,
     ) -> Result<SimTime, TransferFault> {
+        self.try_transfer_frame(now, src, dst, bytes).map(|d| d.at)
+    }
+
+    /// [`Network::try_transfer`] with corruption made visible: the
+    /// returned [`Delivered`] carries an `intact` flag, and with
+    /// integrity enabled a corrupt arrival is refused as
+    /// [`TransferFault::Corrupted`] after billing the full transfer (the
+    /// bytes did cross the wire — the receiver just refuses to consume
+    /// them once the checksum fails).
+    pub fn try_transfer_frame(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+    ) -> Result<Delivered, TransferFault> {
         let verdict = match &mut self.faults {
             None => Verdict::Deliver,
             Some(plan) => plan.judge(now, src, dst),
         };
         match verdict {
-            Verdict::Deliver => Ok(self.transfer(now, src, dst, bytes)),
+            Verdict::Deliver => {
+                let at = self.transfer(now, src, dst, bytes);
+                Ok(Delivered { at, intact: true })
+            }
             Verdict::Delay(extra) => {
                 self.stats.delayed += 1;
                 self.trace.record(|| {
@@ -261,7 +321,34 @@ impl<T: Topology> Network<T> {
                         },
                     )
                 });
-                Ok(self.transfer(now, src, dst, bytes) + extra)
+                let at = self.transfer(now, src, dst, bytes) + extra;
+                Ok(Delivered { at, intact: true })
+            }
+            Verdict::Corrupt => {
+                // The mangled bytes still cross the wire at full price;
+                // detection (or the lack of it) happens at the receiver.
+                let at = self.transfer(now, src, dst, bytes);
+                self.stats.corrupted += 1;
+                let detected = self.integrity;
+                self.trace.record(|| {
+                    TraceEvent::instant(
+                        at.as_nanos(),
+                        dst as u32,
+                        EventKind::NetCorrupt {
+                            src: src as u32,
+                            dst: dst as u32,
+                            bytes: bytes as u64,
+                            detected,
+                        },
+                    )
+                });
+                if self.integrity {
+                    self.stats.corrupt_detected += 1;
+                    Err(TransferFault::Corrupted)
+                } else {
+                    self.stats.corrupt_undetected += 1;
+                    Ok(Delivered { at, intact: false })
+                }
             }
             Verdict::Fault(TransferFault::Dropped) => {
                 // The sender serialized the message before it was lost.
@@ -289,6 +376,70 @@ impl<T: Topology> Network<T> {
         }
     }
 
+    /// Judge and price one failure-detector probe from `src` to `dst`: a
+    /// tiny priority datagram that bypasses both NIC queues — it never
+    /// waits behind bulk data and occupies no serialization resources —
+    /// paying wire latency only. The fault plan applies exactly as for
+    /// [`Network::try_transfer`] (dead endpoints refuse it, drops lose
+    /// it, injected delays postpone it, and the generator draws advance
+    /// identically), so probes and data see the same fault schedule.
+    ///
+    /// Keeping probes out of the bandwidth queues keeps the failure
+    /// detector *causal*: a probe submitted at `now` is judged against
+    /// deaths at `now`, never at a congestion-deferred future arrival —
+    /// a backlogged link must not let the detector convict a peer of a
+    /// death that has not happened yet (nor suspect a live peer merely
+    /// because bulk transfers are queuing in front of its ack).
+    pub fn probe(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<SimTime, TransferFault> {
+        let verdict = match &mut self.faults {
+            None => Verdict::Deliver,
+            Some(plan) => plan.judge(now, src, dst),
+        };
+        let lat = self.params.latency(self.topology.hops(src, dst));
+        match verdict {
+            Verdict::Deliver => Ok(now + lat),
+            Verdict::Delay(extra) => {
+                self.stats.delayed += 1;
+                Ok(now + lat + extra)
+            }
+            // A mangled probe still proves its sender alive: liveness is
+            // carried by arrival, not by payload integrity.
+            Verdict::Corrupt => {
+                self.stats.corrupted += 1;
+                if self.integrity {
+                    self.stats.corrupt_detected += 1;
+                } else {
+                    self.stats.corrupt_undetected += 1;
+                }
+                Ok(now + lat)
+            }
+            Verdict::Fault(TransferFault::Dropped) => {
+                self.stats.dropped += 1;
+                self.trace.record(|| {
+                    TraceEvent::instant(
+                        now.as_nanos(),
+                        src as u32,
+                        EventKind::NetDrop {
+                            src: src as u32,
+                            dst: dst as u32,
+                            bytes: 0,
+                        },
+                    )
+                });
+                Err(TransferFault::Dropped)
+            }
+            Verdict::Fault(fault) => {
+                self.stats.undeliverable += 1;
+                Err(fault)
+            }
+        }
+    }
+
     /// [`Network::try_transfer`] wrapped in bounded retry with exponential
     /// backoff: every failed attempt is noticed after the policy's ack
     /// timeout, the sender backs off, and the retry is billed at the later
@@ -304,17 +455,39 @@ impl<T: Topology> Network<T> {
         bytes: usize,
         policy: &RetryPolicy,
     ) -> Result<SimTime, TransferFault> {
+        self.transfer_with_retry_frame(now, src, dst, bytes, policy)
+            .map(|d| d.at)
+    }
+
+    /// [`Network::transfer_with_retry`] with corruption made visible.
+    /// Detected corruptions ([`TransferFault::Corrupted`], integrity on)
+    /// are re-requested under the same bounded backoff as drops — the
+    /// receiver noticed the bad checksum after the full transfer, so the
+    /// re-request is billed from the (later) failed arrival, counted
+    /// under [`TrafficStats::re_requests`] rather than `retries`.
+    pub fn transfer_with_retry_frame(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        policy: &RetryPolicy,
+    ) -> Result<Delivered, TransferFault> {
         let mut t = now;
         let mut attempt = 1u32;
         loop {
-            match self.try_transfer(t, src, dst, bytes) {
-                Ok(arrival) => return Ok(arrival),
-                Err(TransferFault::Dropped) => {
+            match self.try_transfer_frame(t, src, dst, bytes) {
+                Ok(delivered) => return Ok(delivered),
+                Err(fault @ (TransferFault::Dropped | TransferFault::Corrupted)) => {
                     if attempt >= policy.max_attempts.max(1) {
-                        return Err(TransferFault::Dropped);
+                        return Err(fault);
                     }
                     let wait = policy.backoff(attempt);
-                    self.stats.retries += 1;
+                    if fault == TransferFault::Dropped {
+                        self.stats.retries += 1;
+                    } else {
+                        self.stats.re_requests += 1;
+                    }
                     self.stats.backoff_ns += wait.as_nanos();
                     t += wait;
                     self.trace.record(|| {
@@ -353,11 +526,30 @@ impl<T: Topology> Network<T> {
         cause: FlushCause,
         policy: &RetryPolicy,
     ) -> Result<SimTime, TransferFault> {
+        self.transfer_batch_frame(now, src, dst, total_bytes, msgs, cause, policy)
+            .map(|d| d.at)
+    }
+
+    /// [`Network::transfer_batch`] with corruption made visible. The
+    /// fault plan's verdict — including a corruption — applies to the
+    /// whole flush: a detected corrupt batch is re-requested as a unit,
+    /// and an undetected one poisons every member.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transfer_batch_frame(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        total_bytes: usize,
+        msgs: u64,
+        cause: FlushCause,
+        policy: &RetryPolicy,
+    ) -> Result<Delivered, TransferFault> {
         self.stats.batches += 1;
         self.stats.batched_msgs += msgs;
         self.stats.batched_bytes += total_bytes as u64;
         self.stats.flushes_by_cause[cause as usize] += 1;
-        self.transfer_with_retry(now, src, dst, total_bytes, policy)
+        self.transfer_with_retry_frame(now, src, dst, total_bytes, policy)
     }
 
     /// Like [`Network::transfer`] but without occupying the NICs — used to
@@ -609,6 +801,96 @@ mod tests {
         assert_eq!(s.batched_msgs, 4);
         assert_eq!(s.dropped, 3);
         assert_eq!(s.retries, 2);
+    }
+
+    #[test]
+    fn undetected_corruption_delivers_tainted_bytes_on_time() {
+        use crate::fault::FaultPlan;
+        let clean = net(2).transfer(t(0), 0, 1, 1_000);
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(6).with_corruption(1.0));
+        // Integrity off: the mangled message arrives like any other, at
+        // the clean price, flagged only via `intact`.
+        let d = n.try_transfer_frame(t(0), 0, 1, 1_000).unwrap();
+        assert_eq!(d.at, clean);
+        assert!(!d.intact);
+        let s = n.stats();
+        assert_eq!((s.corrupted, s.corrupt_undetected, s.corrupt_detected), (1, 1, 0));
+        // The legacy API consumes it silently — the pre-integrity world.
+        assert!(n.try_transfer(t(0), 0, 1, 1_000).is_ok());
+        assert_eq!(n.stats().corrupt_undetected, 2);
+    }
+
+    #[test]
+    fn detected_corruption_is_re_requested_with_backoff() {
+        use crate::fault::{FaultPlan, RetryPolicy, TransferFault};
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(6).with_corruption(1.0));
+        n.set_integrity(true);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            n.transfer_with_retry_frame(t(0), 0, 1, 1_000, &policy),
+            Err(TransferFault::Corrupted)
+        );
+        let s = n.stats();
+        assert_eq!(s.corrupted, 3, "every attempt crossed the wire corrupt");
+        assert_eq!(s.corrupt_detected, 3, "every arrival failed verification");
+        assert_eq!(s.re_requests, 2, "attempts - 1 re-requests before giving up");
+        assert_eq!(s.retries, 0, "re-requests are not drop retries");
+        assert!(s.backoff_ns > 0, "re-request backoff is billed");
+        assert_eq!(
+            s.remote.count(),
+            3,
+            "corrupt transfers are billed in full — the bytes did move"
+        );
+    }
+
+    #[test]
+    fn corrupt_batch_verdict_applies_to_the_whole_flush() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(8).with_corruption(1.0));
+        n.set_integrity(true);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        assert!(n
+            .transfer_batch_frame(t(0), 0, 1, 8_192, 4, FlushCause::Bytes, &policy)
+            .is_err());
+        let s = n.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_msgs, 4);
+        assert_eq!(s.corrupt_detected, 4);
+        assert_eq!(s.re_requests, 3);
+    }
+
+    #[test]
+    fn corruption_instants_reach_an_installed_trace() {
+        use crate::fault::FaultPlan;
+        use allscale_trace::{TraceConfig, TraceSink};
+        let mut n = net(2);
+        n.install_faults(FaultPlan::new(13).with_corruption(1.0));
+        let sink = TraceSink::enabled(2, &TraceConfig::default());
+        n.install_trace(sink.clone());
+        let _ = n.try_transfer_frame(t(0), 0, 1, 256);
+        n.set_integrity(true);
+        let _ = n.try_transfer_frame(t(0), 0, 1, 256);
+        let trace = sink.take().unwrap();
+        let corrupts: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::NetCorrupt { detected, .. } => Some(detected),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(corrupts, vec![false, true]);
+        // Corruption is noticed (or not) at the receiver.
+        assert!(trace.events.iter().all(|e| e.loc == 1));
     }
 
     #[test]

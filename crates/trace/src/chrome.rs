@@ -180,6 +180,33 @@ fn args_of(ev: &TraceEvent) -> String {
             put("attempt", attempt.to_string());
             put("backoff_ns", backoff_ns.to_string());
         }
+        EventKind::NetCorrupt {
+            src,
+            dst,
+            bytes,
+            detected,
+        } => {
+            put("src", src.to_string());
+            put("dst", dst.to_string());
+            put("bytes", bytes.to_string());
+            put("detected", detected.to_string());
+        }
+        EventKind::ScrubPass {
+            replicas,
+            divergent,
+        } => {
+            put("replicas", replicas.to_string());
+            put("divergent", divergent.to_string());
+        }
+        EventKind::ScrubRepair { item, owner, bytes } => {
+            put("item", item.to_string());
+            put("owner", owner.to_string());
+            put("bytes", bytes.to_string());
+        }
+        EventKind::Quarantine { item, strikes } => {
+            put("item", item.to_string());
+            put("strikes", strikes.to_string());
+        }
         EventKind::Checkpoint { phase, bytes } => {
             put("phase", phase.to_string());
             put("bytes", bytes.to_string());

@@ -21,6 +21,8 @@ pub enum TransferPurpose {
     Result,
     /// A control message (index hops, replica releases, requests).
     Control,
+    /// A scrubber repair shipping a fresh copy to a divergent replica.
+    Scrub,
 }
 
 impl TransferPurpose {
@@ -33,6 +35,7 @@ impl TransferPurpose {
             TransferPurpose::Broadcast => "broadcast",
             TransferPurpose::Result => "result",
             TransferPurpose::Control => "control",
+            TransferPurpose::Scrub => "scrub",
         }
     }
 }
@@ -229,6 +232,45 @@ pub enum EventKind {
         /// Simulated nanoseconds of timeout + backoff before this retry.
         backoff_ns: u64,
     },
+    /// A transfer arrived with a mangled payload (instant at the
+    /// receiver; recorded by the network layer).
+    NetCorrupt {
+        /// Sending locality.
+        src: u32,
+        /// Receiving locality.
+        dst: u32,
+        /// Payload size of the corrupted message.
+        bytes: u64,
+        /// Whether checksum verification caught it (integrity on).
+        detected: bool,
+    },
+    // ---------------------------------------------------------- integrity
+    /// The background scrubber audited one locality's replicas against
+    /// their owners (instant at the scrubbed locality).
+    ScrubPass {
+        /// Replicas fingerprint-compared in this pass.
+        replicas: u32,
+        /// Replicas found divergent from their owner.
+        divergent: u32,
+    },
+    /// The scrubber repaired a divergent replica with a fresh copy from
+    /// the owner (instant at the repaired locality).
+    ScrubRepair {
+        /// The repaired item.
+        item: u32,
+        /// The owner locality the fresh copy came from.
+        owner: u32,
+        /// Bytes re-shipped.
+        bytes: u64,
+    },
+    /// A replica that kept diverging was evicted from the replica set
+    /// (instant at the quarantined locality).
+    Quarantine {
+        /// The item whose replica was evicted.
+        item: u32,
+        /// Divergences observed before eviction.
+        strikes: u32,
+    },
     // --------------------------------------------------------- resilience
     /// A cluster-wide checkpoint was taken (instant, locality 0).
     Checkpoint {
@@ -288,6 +330,10 @@ impl EventKind {
             EventKind::NetDrop { .. } => "drop",
             EventKind::NetDelay { .. } => "delay",
             EventKind::NetRetry { .. } => "retry",
+            EventKind::NetCorrupt { .. } => "corrupt",
+            EventKind::ScrubPass { .. } => "scrub-pass",
+            EventKind::ScrubRepair { .. } => "scrub-repair",
+            EventKind::Quarantine { .. } => "quarantine",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::Suspicion { .. } => "suspicion",
             EventKind::Recovery { .. } => "recovery",
@@ -313,7 +359,11 @@ impl EventKind {
             EventKind::IndexLookup { .. } | EventKind::IndexUpdate { .. } => "index",
             EventKind::NetDrop { .. }
             | EventKind::NetDelay { .. }
-            | EventKind::NetRetry { .. } => "fault",
+            | EventKind::NetRetry { .. }
+            | EventKind::NetCorrupt { .. } => "fault",
+            EventKind::ScrubPass { .. }
+            | EventKind::ScrubRepair { .. }
+            | EventKind::Quarantine { .. } => "integrity",
             EventKind::Checkpoint { .. }
             | EventKind::Suspicion { .. }
             | EventKind::Recovery { .. } => "resilience",

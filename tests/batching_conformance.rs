@@ -13,10 +13,11 @@ use std::rc::Rc;
 
 use allscale_apps::{stencil, tpc};
 use allscale_core::{
-    pfor, BatchParams, FaultPlan, Grid, PforSpec, Requirement, ResilienceConfig, RoundRobinPolicy,
-    RtConfig, RtCtx, RunReport, Runtime, TaskValue, TraceConfig, WorkItem,
+    pfor, BatchParams, FaultPlan, Grid, IntegrityConfig, PforSpec, Requirement, ResilienceConfig,
+    RoundRobinPolicy, RtConfig, RtCtx, RunReport, Runtime, TaskValue, TraceConfig, WorkItem,
 };
 use allscale_des::{SimDuration, SimTime};
+use allscale_net::{FatTree, FlushCause, NetParams, Network, RetryPolicy, Verdict};
 use allscale_model as model;
 use allscale_region::{BoxRegion, Region};
 use allscale_trace::{EventKind, TransferPurpose};
@@ -165,6 +166,7 @@ fn run_chaos(
     batching: Option<BatchParams>,
     faults: Option<FaultPlan>,
     resilience: Option<ResilienceConfig>,
+    integrity: Option<IntegrityConfig>,
 ) -> RunReport {
     let nodes = 4usize;
     let grid: Rc<RefCell<Option<Grid<f64, 1>>>> = Rc::new(RefCell::new(None));
@@ -172,6 +174,7 @@ fn run_chaos(
     let mut cfg = RtConfig::test(nodes, 2);
     cfg.faults = faults;
     cfg.resilience = resilience;
+    cfg.integrity = integrity;
     if let Some(bp) = batching {
         cfg = cfg.with_batching(bp);
     }
@@ -263,12 +266,119 @@ fn run_chaos(
 #[test]
 fn chaotic_migrations_agree_across_batching() {
     for seed in 0..6u64 {
-        let un = run_chaos(seed, None, None, None);
-        let ba = run_chaos(seed, Some(BatchParams::default()), None, None);
+        let un = run_chaos(seed, None, None, None, None);
+        let ba = run_chaos(seed, Some(BatchParams::default()), None, None, None);
         assert_task_monitors_identical(&un, &ba, &format!("chaos seed {seed}"));
         assert_eq!(un.traffic.batches, 0);
         assert!(ba.traffic.batches > 0, "seed {seed}: nothing batched");
     }
+}
+
+/// Verified transfers under a corrupting wire, batching on: the chaos
+/// program still reads back exact values (asserted in-program), the task
+/// monitors match the fault-free batched run, every injected corruption
+/// is detected, and detections surface as re-requests — a corrupt flush
+/// is retried, never consumed.
+#[test]
+fn corrupted_batch_flushes_rerequest_and_agree() {
+    let mut corruptions = 0u64;
+    for seed in 0..4u64 {
+        let clean = run_chaos(seed, Some(BatchParams::default()), None, None, None);
+        let plan = FaultPlan::new(seed ^ 0xbad_c0de).with_corruption(0.08);
+        let dirty = run_chaos(
+            seed,
+            Some(BatchParams::default()),
+            Some(plan),
+            None,
+            Some(IntegrityConfig {
+                scrub_period: None,
+                ..IntegrityConfig::default()
+            }),
+        );
+        assert_task_monitors_identical(&clean, &dirty, &format!("corrupt seed {seed}"));
+        assert!(dirty.traffic.batches > 0, "seed {seed}: nothing batched");
+        let g = &dirty.monitor.integrity;
+        assert_eq!(
+            g.wire_undetected, 0,
+            "seed {seed}: verified run consumed poison ({g:?})"
+        );
+        assert_eq!(
+            g.wire_detected, g.wire_corruptions,
+            "seed {seed}: detection must account every corruption"
+        );
+        assert!(
+            g.re_requests >= g.wire_detected,
+            "seed {seed}: detected corruptions must be re-requested ({g:?})"
+        );
+        corruptions += g.wire_corruptions;
+    }
+    assert!(corruptions > 0, "no corruption ever struck; rate too low to test anything");
+}
+
+/// The net-layer contract of a corrupted flush, stated exactly: the
+/// whole batch is re-requested as one unit (batch counters bill the
+/// flush once, one re-request), and checksum framing changes no pricing
+/// — a fault-free flush arrives at the same instant with verification
+/// on or off, and a verified batch of one still prices like a plain
+/// transfer.
+#[test]
+fn corrupted_batch_flush_rerequests_as_a_unit() {
+    let t0 = SimTime::from_nanos(0);
+    let policy = RetryPolicy::default();
+    let mk = |plan: Option<FaultPlan>, verify: bool| {
+        let mut n = Network::new(FatTree::new(8, 16), NetParams::default());
+        n.set_integrity(verify);
+        if let Some(p) = plan {
+            n.install_faults(p);
+        }
+        n
+    };
+    let flush = |n: &mut Network<FatTree>| {
+        n.transfer_batch(t0, 0, 1, 48_000, 6, FlushCause::Window, &policy)
+    };
+
+    // Fault-free reference, and the pricing identity: verification is
+    // free on clean traffic.
+    let mut clean = mk(None, true);
+    let clean_arrival = flush(&mut clean).expect("no faults installed");
+    let mut unverified = mk(None, false);
+    assert_eq!(
+        flush(&mut unverified).expect("no faults installed"),
+        clean_arrival,
+        "checksum verification changed the price of a clean flush"
+    );
+
+    // A seed whose corruption stream strikes the first judgement and
+    // spares the second: first flush attempt corrupt, retry delivers.
+    let seed = (0u64..)
+        .find(|&s| {
+            let mut p = FaultPlan::new(s).with_corruption(0.5);
+            p.judge(t0, 0, 1) == Verdict::Corrupt && p.judge(t0, 0, 1) == Verdict::Deliver
+        })
+        .expect("some seed corrupts first and delivers second");
+    let mut dirty = mk(Some(FaultPlan::new(seed).with_corruption(0.5)), true);
+    let arrival = flush(&mut dirty).expect("one retry suffices");
+    assert!(
+        arrival > clean_arrival,
+        "the re-request must bill detection timeout and backoff"
+    );
+    let s = dirty.stats();
+    assert_eq!(s.corrupted, 1, "exactly one corruption injected");
+    assert_eq!(s.corrupt_detected, 1, "and the checksum caught it");
+    assert_eq!(s.corrupt_undetected, 0);
+    assert_eq!(s.re_requests, 1, "the flush is re-requested once, as a unit");
+    assert_eq!(s.batches, 1, "batch counters bill the flush once, not per attempt");
+    assert_eq!(s.batched_msgs, 6);
+    assert_eq!(s.batched_bytes, 48_000);
+
+    // Batch-of-one identity survives verification: same arrival as the
+    // plain infallible transfer.
+    let mut one = mk(None, true);
+    let batched_one = one
+        .transfer_batch(t0, 0, 1, 9_000, 1, FlushCause::Msgs, &policy)
+        .expect("no faults installed");
+    let mut plain = mk(None, false);
+    assert_eq!(batched_one, plain.transfer(t0, 0, 1, 9_000));
 }
 
 // ----------------------------------------------------- model properties
@@ -473,28 +583,48 @@ fn batch_counters_are_consistent() {
 
 // ------------------------------------------------------------------ soak
 
-/// Seeded batching+fault soak: random migrations, a fail-stop kill and
-/// message drops, with batching on — recovery must still produce exact
-/// readback (asserted inside the program). Ignored locally; CI runs it
-/// with `-- --ignored`.
+/// Seeded corruption+death+batching soak: random migrations, a
+/// fail-stop kill, message drops AND wire corruption, with batching and
+/// verified transfers on — recovery must still produce exact readback
+/// (asserted inside the program) and no poison may ever be consumed.
+/// Ignored locally; CI runs it with `-- --ignored`.
 #[test]
-#[ignore = "batching+fault soak; CI runs it via -- --ignored"]
+#[ignore = "corruption+death+batching soak; CI runs it via -- --ignored"]
 fn batching_fault_soak() {
+    let mut corruptions = 0u64;
     for seed in 0..12u64 {
-        let clean = run_chaos(seed, Some(BatchParams::default()), None, None);
+        let clean = run_chaos(seed, Some(BatchParams::default()), None, None, None);
         let total_ns = clean.finish_time.as_nanos();
         let victim = 1 + (seed % 3) as usize;
         let frac = 25 + (seed % 6) * 11;
-        let mut plan = FaultPlan::new(seed ^ 0x5eed_fa57).with_drop_rate(0.005);
+        let mut plan = FaultPlan::new(seed ^ 0x5eed_fa57)
+            .with_drop_rate(0.005)
+            .with_corruption(0.01);
         plan.kill_at(victim, SimTime::from_nanos(total_ns * frac / 100));
         let resil = ResilienceConfig {
             checkpoint_every: 1,
             heartbeat_period: SimDuration::from_nanos((total_ns / 100).max(500)),
             ..ResilienceConfig::default()
         };
-        let report = run_chaos(seed, Some(BatchParams::default()), Some(plan), Some(resil));
+        let report = run_chaos(
+            seed,
+            Some(BatchParams::default()),
+            Some(plan),
+            Some(resil),
+            Some(IntegrityConfig {
+                scrub_period: None,
+                ..IntegrityConfig::default()
+            }),
+        );
         let r = &report.monitor.resilience;
         assert!(r.detections >= 1, "seed {seed}: death undetected ({r:?})");
         assert!(r.recoveries >= 1, "seed {seed}: no recovery ran ({r:?})");
+        let g = &report.monitor.integrity;
+        assert_eq!(
+            g.wire_undetected, 0,
+            "seed {seed}: verified soak consumed poison ({g:?})"
+        );
+        corruptions += g.wire_corruptions;
     }
+    assert!(corruptions > 0, "soak never saw a corruption; rates too low");
 }
