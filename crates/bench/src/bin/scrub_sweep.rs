@@ -30,10 +30,12 @@ use allscale_region::BoxRegion;
 const NODES: usize = 4;
 const N: i64 = 64;
 const WORK: i64 = 512;
+
+type GridPair = Rc<RefCell<Option<(Grid<f64, 1>, Grid<f64, 1>)>>>;
 const STEPS: usize = 8;
 
 fn run(rot: f64, scrub_period: Option<SimDuration>) -> RunReport {
-    let st: Rc<RefCell<Option<(Grid<f64, 1>, Grid<f64, 1>)>>> = Rc::new(RefCell::new(None));
+    let st: GridPair = Rc::new(RefCell::new(None));
     let s2 = st.clone();
     let mut cfg = RtConfig::test(NODES, 2);
     cfg.faults = Some(FaultPlan::new(0x5c2b).with_rot(rot));

@@ -80,6 +80,7 @@ pub mod policy;
 pub mod rebalance;
 pub mod resilience;
 pub mod runtime;
+pub mod scheduler;
 pub mod task;
 
 pub use cost::CostModel;
@@ -92,13 +93,16 @@ pub use facade::{
 pub use index::{CentralIndex, DistIndex};
 pub use integrity::{IntegrityConfig, IntegrityStats};
 pub use loc_cache::{CacheStats, LocationCache};
-pub use monitor::{LocalityStats, Monitor, RunReport};
+pub use monitor::{LocalityStats, Monitor, RunReport, SchedulerStats};
 pub use policy::{
     DataAwarePolicy, PolicyEnv, RandomPolicy, RoundRobinPolicy, SchedulingPolicy, Variant,
 };
 pub use rebalance::{plan_rebalance, split_off_cells, MoveSuggestion};
 pub use resilience::{ResilienceConfig, ResilienceStats};
 pub use runtime::{AppDriver, Checkpoint, Locality, RtConfig, RtCtx, Runtime};
+pub use scheduler::{
+    DataAwareScheduler, Placement, Scheduler, StealConfig, VictimPolicy, WorkStealingScheduler,
+};
 
 // Fault-injection types, re-exported so applications configuring
 // `RtConfig::faults` need not depend on `allscale-net` directly.

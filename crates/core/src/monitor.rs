@@ -34,11 +34,32 @@ pub struct LocalityStats {
     pub lock_conflicts: u64,
 }
 
+/// Counters of the scheduler subsystem. All zeros under the direct
+/// data-aware family; the work-stealing family counts queue and
+/// steal-protocol activity here (recorded unconditionally, so traced
+/// and untraced runs agree).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Enqueue operations into per-locality task queues (admissions
+    /// plus stolen-task arrivals).
+    pub tasks_queued: u64,
+    /// Steal requests sent by idle localities.
+    pub steal_requests: u64,
+    /// Requests answered with a task (plus direct waiter handoffs).
+    pub steal_grants: u64,
+    /// Requests answered empty-handed.
+    pub steal_denies: u64,
+    /// Direct surplus handoffs to parked waiters (subset of grants).
+    pub handoffs: u64,
+}
+
 /// Cluster-wide monitoring state.
 #[derive(Debug, Clone, Default)]
 pub struct Monitor {
     /// Per-locality counters.
     pub per_locality: Vec<LocalityStats>,
+    /// Scheduler-subsystem counters (queueing and work stealing).
+    pub scheduler: SchedulerStats,
     /// Hops crossed by index lookups (Algorithm 1 traffic).
     pub index_lookup_hops: u64,
     /// Hops crossed by index updates.
@@ -192,6 +213,18 @@ impl RunReport {
             c.invalidations,
             c.saved_hops,
         );
+        let s = &self.monitor.scheduler;
+        if s.tasks_queued > 0 || s.steal_requests > 0 {
+            let _ = writeln!(
+                out,
+                "scheduler: {} tasks queued | steals: {} requests, {} grants, {} denies, {} waiter handoffs",
+                s.tasks_queued,
+                s.steal_requests,
+                s.steal_grants,
+                s.steal_denies,
+                s.handoffs,
+            );
+        }
         let t = &self.traffic;
         if t.batches > 0 {
             let _ = writeln!(

@@ -47,6 +47,9 @@ use crate::loc_cache::LocationCache;
 use crate::monitor::{Monitor, RunReport};
 use crate::policy::{DataAwarePolicy, PolicyEnv, SchedulingPolicy, Variant};
 use crate::resilience::{ResilienceConfig, ResilienceManager, SavedCheckpoint};
+use crate::scheduler::{
+    DataAwareScheduler, Placement, Scheduler, StealConfig, WorkStealingScheduler,
+};
 use crate::task::{
     AccessMode, Done, ItemId, Requirement, SplitOutcome, TaskCtx, TaskId, TaskValue, WorkItem,
 };
@@ -117,8 +120,16 @@ pub struct RtConfig {
     pub spec: ClusterSpec,
     /// Virtual-time cost constants.
     pub cost: CostModel,
-    /// Scheduling policy (Algorithm 2's pluggable part).
+    /// Scheduling policy (Algorithm 2's pluggable part). With
+    /// `stealing` unset this drives the default [`DataAwareScheduler`];
+    /// with it set, the policy still makes the variant and
+    /// fallback-target decisions inside the [`WorkStealingScheduler`].
     pub policy: Box<dyn SchedulingPolicy>,
+    /// Switch the scheduler family to per-locality bounded task queues
+    /// with work stealing (see [`StealConfig`] for the knobs: queue
+    /// threshold, victim policy, attempts, seed). `None` (the default)
+    /// keeps the paper's direct data-aware placement.
+    pub stealing: Option<StealConfig>,
     /// Use the central-directory index instead of the hierarchical one
     /// (ablation A1).
     pub central_index: bool,
@@ -152,6 +163,7 @@ impl RtConfig {
             spec: ClusterSpec::meggie(nodes),
             cost: CostModel::default(),
             policy: Box::new(DataAwarePolicy::default()),
+            stealing: None,
             central_index: false,
             faults: None,
             resilience: None,
@@ -166,6 +178,7 @@ impl RtConfig {
             spec: ClusterSpec::test(nodes, cores),
             cost: CostModel::default(),
             policy: Box::new(DataAwarePolicy::default()),
+            stealing: None,
             central_index: false,
             faults: None,
             resilience: None,
@@ -190,6 +203,17 @@ impl RtConfig {
     /// individually — the ablation baseline.
     pub fn with_batching(mut self, params: BatchParams) -> Self {
         self.spec.net.batching = Some(params);
+        self
+    }
+
+    /// Switch to the work-stealing scheduler family: admitted process
+    /// tasks land in per-locality bounded queues (spilling past a full
+    /// one), and a locality that runs dry steals from a victim chosen
+    /// by `cfg.victim`. Steal requests, grants/denies and stolen-task
+    /// handoffs are billed control traffic on the simulated network, so
+    /// batching, faults and tracing all apply to them.
+    pub fn with_work_stealing(mut self, cfg: StealConfig) -> Self {
+        self.stealing = Some(cfg);
         self
     }
 }
@@ -218,7 +242,9 @@ pub struct RtWorld {
     retry_scheduled: bool,
     next_task: u64,
     next_item: u32,
-    policy: Box<dyn SchedulingPolicy>,
+    /// The pluggable scheduler subsystem (decision-only; this module
+    /// executes its decisions and bills their traffic).
+    scheduler: Box<dyn Scheduler>,
     driver: Option<Box<dyn AppDriver>>,
     phase: usize,
     finish_time: SimTime,
@@ -642,6 +668,15 @@ impl Runtime {
             IndexImpl::Dist(DistIndex::new(nodes))
         };
         let batching = config.spec.net.batching;
+        let scheduler: Box<dyn Scheduler> = match config.stealing {
+            Some(cfg) => Box::new(WorkStealingScheduler::new(
+                config.policy,
+                cfg,
+                nodes,
+                config.spec.cores_per_node,
+            )),
+            None => Box::new(DataAwareScheduler::new(config.policy)),
+        };
         let world = RtWorld {
             spec: config.spec,
             net,
@@ -657,7 +692,7 @@ impl Runtime {
             retry_scheduled: false,
             next_task: 0,
             next_item: 0,
-            policy: Box::new(DataAwarePolicy::default()),
+            scheduler,
             driver: None,
             phase: 0,
             finish_time: SimTime::ZERO,
@@ -677,8 +712,7 @@ impl Runtime {
             coalescer: Coalescer::new(batching.unwrap_or_default()),
             next_batch: 0,
         };
-        let mut sim = Sim::new(world);
-        sim.world.policy = config.policy;
+        let sim = Sim::new(world);
         Runtime { sim }
     }
 
@@ -950,7 +984,7 @@ fn open_payload(w: &mut RtWorld, wire: &[u8], intact: bool) -> Vec<u8> {
 /// long-lived storage (a persistent replica or a checkpoint shard); a
 /// strike flips one bit. No-op (and no generator advance) unless the
 /// fault plan configures rot.
-fn rot_payload(w: &mut RtWorld, bytes: &mut Vec<u8>) {
+fn rot_payload(w: &mut RtWorld, bytes: &mut [u8]) {
     let Some(f) = w.net.faults_mut() else { return };
     if f.rot_strikes() {
         let salt = f.corruption_salt();
@@ -964,8 +998,11 @@ fn rot_payload(w: &mut RtWorld, bytes: &mut Vec<u8>) {
 /// handling-complete time) or definitively lost (`None`).
 struct PendingMsg {
     tag: Payload,
-    deliver: Box<dyn FnOnce(&mut RtSim, Option<Delivered>)>,
+    deliver: DeliverFn,
 }
+
+/// Continuation run when a batched message is delivered or lost.
+type DeliverFn = Box<dyn FnOnce(&mut RtSim, Option<Delivered>)>;
 
 /// Send a runtime message through the batching layer. With batching off
 /// it is billed immediately ([`send_msg`] gated on the destination's
@@ -1595,7 +1632,7 @@ fn scrub_tick(sim: &mut RtSim) {
                         t,
                         holder,
                         EventKind::Quarantine {
-                            item: item.0 as u32,
+                            item: item.0,
                             strikes,
                         },
                     );
@@ -1622,7 +1659,7 @@ fn scrub_tick(sim: &mut RtSim) {
                     d.at,
                     holder,
                     EventKind::ScrubRepair {
-                        item: item.0 as u32,
+                        item: item.0,
                         owner: owner as u32,
                         bytes: data.len() as u64,
                     },
@@ -1730,6 +1767,9 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
     // Buffered-but-unflushed messages belong to the abandoned run; their
     // flush timers are already disarmed by the epoch bump.
     w.coalescer.clear();
+    // Queued tasks and steal/wait state belong to the abandoned phase
+    // too — stale grants and denies are disarmed by the epoch bump.
+    w.scheduler.clear();
     for l in w.localities.iter_mut() {
         l.load = 0;
     }
@@ -1821,7 +1861,7 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
     };
     let variant =
         sim.world
-            .policy
+            .scheduler
             .pick_variant(wi.depth(), wi.can_split(), wi.placement_hint(), &env);
 
     match variant {
@@ -1830,7 +1870,7 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
             // (remapped off localities known dead).
             let target = sim
                 .world
-                .policy
+                .scheduler
                 .pick_target(wi.placement_hint(), at, &env);
             let target = live_target(&sim.world, target);
             let now = sim.now();
@@ -1867,8 +1907,13 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
         }
         Variant::Process => {
             let reqs = wi.requirements();
-            let target = pick_process_target(sim, at, wi.as_ref(), &reqs, &env);
-            let target = live_target(&sim.world, target);
+            let preferred = pick_process_target(sim, at, wi.as_ref(), &reqs, &env);
+            let preferred = live_target(&sim.world, preferred);
+            // The scheduler routes the admitted task: directly to its
+            // data-aware locality, or into a (possibly spilled) queue.
+            let placement = sim.world.scheduler.admit(preferred, &sim.world.dead);
+            let target = placement.loc();
+            let queued = matches!(placement, Placement::Enqueue(_));
             let now = sim.now();
             trace_instant(
                 &sim.world,
@@ -1905,10 +1950,20 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
                         sim.world.localities[target].load -= 1;
                         return;
                     }
-                    prepare_task(sim, tid);
+                    if queued {
+                        enqueue_task(sim, target, tid);
+                    } else {
+                        prepare_task(sim, tid);
+                    }
                 });
             } else {
-                schedule_task_event(sim, now, move |sim| prepare_task(sim, tid));
+                schedule_task_event(sim, now, move |sim| {
+                    if queued {
+                        enqueue_task(sim, target, tid);
+                    } else {
+                        prepare_task(sim, tid);
+                    }
+                });
             }
         }
     }
@@ -1923,7 +1978,7 @@ fn pick_process_target(
     env: &PolicyEnv<'_>,
 ) -> usize {
     if reqs.is_empty() {
-        return sim.world.policy.pick_target(wi.placement_hint(), at, env);
+        return sim.world.scheduler.pick_target(wi.placement_hint(), at, env);
     }
     // Fast path: everything already available right here (covers
     // persistent replicas, e.g. the broadcast tree top).
@@ -1955,7 +2010,7 @@ fn pick_process_target(
         return p;
     }
     // Line 12: the policy decides.
-    sim.world.policy.pick_target(wi.placement_hint(), at, env)
+    sim.world.scheduler.pick_target(wi.placement_hint(), at, env)
 }
 
 /// The single process owning every requirement in `iter`, if one exists.
@@ -1998,6 +2053,176 @@ fn common_owner<'r>(
     } else {
         None
     }
+}
+
+// ------------------------------------------------------------ work stealing
+//
+// The queue-family driver. A process task admitted as `Enqueue` lands in
+// its locality's bounded queue; the pump activates queued tasks while
+// execution slots (one per core) are free. A locality whose queue runs
+// dry starts a *steal round*: a billed control request to a victim
+// (chosen by the scheduler's victim policy), answered either by a grant
+// — the task descriptor travels back as a billed `TaskForward`, and the
+// thief re-resolves the task's data requirements locally through the
+// normal staging path (location cache included) — or by a billed deny.
+// After `max_attempts` denies the thief parks as a *waiter*; a later
+// surplus enqueue anywhere hands it work directly. Every leg is a
+// normal runtime message: batching coalesces it, fault injection can
+// drop it (a lost request or deny counts as a deny; a lost handoff
+// strands the task until recovery, exactly like a lost forward), and
+// the trace records `StealRequest`/`StealGrant`/`StealDeny` instants.
+//
+// Liveness without timers: the protocol advances only on message
+// continuations and enqueue/finish events, so a run with no faults
+// cannot livelock (each round either moves a task or parks the thief),
+// and the event queue still drains when the application completes.
+
+/// Enqueue an admitted (or stolen) task at `loc`, activate what fits,
+/// and hand surplus queued work to any parked waiter.
+fn enqueue_task(sim: &mut RtSim, loc: usize, tid: TaskId) {
+    sim.world.scheduler.enqueue(loc, tid);
+    sim.world.monitor.scheduler.tasks_queued += 1;
+    pump_queue(sim, loc);
+    // Surplus push: a queue still backed up after pumping feeds parked
+    // waiters directly — no request leg, just the handoff.
+    while let Some((waiter, task)) = sim.world.scheduler.take_handoff(loc, &sim.world.dead) {
+        sim.world.monitor.scheduler.handoffs += 1;
+        grant_steal(sim, loc, waiter, task);
+    }
+}
+
+/// Activate queued tasks at `loc` while slots are free; steal when dry.
+fn pump_queue(sim: &mut RtSim, loc: usize) {
+    while let Some(tid) = sim.world.scheduler.next_runnable(loc) {
+        prepare_task(sim, tid);
+    }
+    maybe_steal(sim, loc);
+}
+
+/// Start a steal round from `thief` if it is idle with a dry queue.
+fn maybe_steal(sim: &mut RtSim, thief: usize) {
+    if !sim.world.scheduler.should_steal(thief) {
+        return;
+    }
+    sim.world.scheduler.begin_steal(thief);
+    steal_attempt(sim, thief, 0);
+}
+
+/// One victim attempt of a steal round (`attempt` victims already tried).
+fn steal_attempt(sim: &mut RtSim, thief: usize, attempt: usize) {
+    let victim = sim.world.scheduler.steal_victim(thief, &sim.world.dead);
+    let Some(victim) = victim else {
+        // Nothing to steal anywhere: park as a waiter until surplus
+        // work shows up.
+        sim.world.scheduler.enlist_waiter(thief);
+        return;
+    };
+    let now = sim.now();
+    sim.world.monitor.scheduler.steal_requests += 1;
+    trace_instant(
+        &sim.world,
+        now,
+        thief,
+        EventKind::StealRequest {
+            thief: thief as u32,
+            victim: victim as u32,
+        },
+    );
+    let ctrl = sim.world.cost.control_msg_bytes;
+    let tag = Payload {
+        purpose: TransferPurpose::Control,
+        task: None,
+        item: None,
+    };
+    send_deferred(sim, thief, victim, ctrl, tag, move |sim, arr| {
+        if arr.is_none() {
+            // A lost request (undetected-dead victim, exhausted
+            // retries) is indistinguishable from a deny to the thief.
+            steal_denied(sim, thief, attempt);
+            return;
+        }
+        match sim.world.scheduler.steal_task(victim) {
+            Some(tid) => grant_steal(sim, victim, thief, tid),
+            None => {
+                let t = sim.now();
+                sim.world.monitor.scheduler.steal_denies += 1;
+                trace_instant(
+                    &sim.world,
+                    t,
+                    victim,
+                    EventKind::StealDeny {
+                        victim: victim as u32,
+                        thief: thief as u32,
+                    },
+                );
+                let ctrl = sim.world.cost.control_msg_bytes;
+                send_deferred(sim, victim, thief, ctrl, tag, move |sim, _arr| {
+                    // A lost deny reply times out into the same path.
+                    steal_denied(sim, thief, attempt);
+                });
+            }
+        }
+    });
+}
+
+/// The thief's attempt came back empty: try the next victim, or park.
+fn steal_denied(sim: &mut RtSim, thief: usize, attempt: usize) {
+    sim.world.scheduler.end_steal(thief);
+    if !sim.world.scheduler.should_steal(thief) {
+        // Work arrived (or a slot filled) while the request was in
+        // flight; the enqueue's pump already took over.
+        return;
+    }
+    let next = attempt + 1;
+    if next >= sim.world.scheduler.max_attempts() {
+        sim.world.scheduler.enlist_waiter(thief);
+        return;
+    }
+    sim.world.scheduler.begin_steal(thief);
+    steal_attempt(sim, thief, next);
+}
+
+/// Hand the queued task `tid` from `victim` to `thief`: re-home its
+/// inflight record and ship the descriptor as a billed `TaskForward`.
+/// On arrival the thief enqueues it and its staging re-resolves the
+/// task's data requirements from the thief's side (through the location
+/// cache), migrating or replicating whatever the new home is missing.
+fn grant_steal(sim: &mut RtSim, victim: usize, thief: usize, tid: TaskId) {
+    let now = sim.now();
+    sim.world.monitor.scheduler.steal_grants += 1;
+    trace_instant(
+        &sim.world,
+        now,
+        victim,
+        EventKind::StealGrant {
+            victim: victim as u32,
+            thief: thief as u32,
+            task: tid.0,
+        },
+    );
+    let bytes = {
+        let inf = sim.world.inflight.get_mut(&tid).expect("stolen task in flight");
+        inf.loc = thief;
+        inf.wi.as_ref().expect("queued task holds its descriptor").descriptor_bytes()
+    };
+    sim.world.localities[victim].load -= 1;
+    sim.world.localities[thief].load += 1;
+    let tag = Payload::task(TransferPurpose::TaskForward, tid);
+    send_deferred(sim, victim, thief, bytes, tag, move |sim, arr| {
+        if arr.is_none() {
+            // The stolen descriptor is lost — same fate as a lost
+            // forward: the task strands until recovery reaps it, and
+            // the thief goes back to stealing (finitely: every loss
+            // removes a task from the run).
+            sim.world.inflight.remove(&tid);
+            sim.world.localities[thief].load -= 1;
+            sim.world.scheduler.end_steal(thief);
+            maybe_steal(sim, thief);
+            return;
+        }
+        sim.world.scheduler.end_steal(thief);
+        enqueue_task(sim, thief, tid);
+    });
 }
 
 // -------------------------------------------------------------------- split
@@ -2439,6 +2664,13 @@ fn finish_execution(sim: &mut RtSim, tid: TaskId) {
     }
     sim.world.inflight.remove(&tid);
     sim.world.localities[loc].load -= 1;
+
+    // Queue family: the finished task's slot frees — activate the next
+    // queued task, and steal if the queue is dry.
+    if sim.world.scheduler.uses_queues() {
+        sim.world.scheduler.release_slot(loc);
+        pump_queue(sim, loc);
+    }
 
     match done {
         Done::Value(v) => finish_task(sim, loc, tid, parent, v),

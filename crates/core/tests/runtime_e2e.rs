@@ -962,7 +962,7 @@ fn detector_host_death_fails_over_and_recovers() {
     let (_, clean) = bump_roundtrip(config(4, 2), 2);
     let total = clean.finish_time.as_nanos();
 
-    let mut plan = FaultPlan::new(0xdead_0);
+    let mut plan = FaultPlan::new(0xdead0);
     plan.kill_at(0, SimTime::from_nanos(total * 6 / 10));
     let mut cfg = config(4, 2);
     cfg.faults = Some(plan);
@@ -1088,7 +1088,7 @@ fn driver_migration_to_dead_locality_is_remapped() {
     let (_, clean) = run(config(4, 2), false);
     let total = clean.finish_time.as_nanos();
 
-    let mut plan = FaultPlan::new(0xdead_2);
+    let mut plan = FaultPlan::new(0xdead2);
     plan.kill_at(VICTIM, SimTime::from_nanos(total * 3 / 10));
     let mut cfg = config(4, 2);
     cfg.faults = Some(plan);
@@ -1146,7 +1146,8 @@ fn scrubber_repairs_and_quarantines_rotting_replicas() {
     use std::cell::RefCell;
     use std::rc::Rc;
     const N: i64 = 64;
-    let st: Rc<RefCell<Option<(Grid<f64, 1>, Grid<f64, 1>)>>> = Rc::new(RefCell::new(None));
+    type GridPair = Rc<RefCell<Option<(Grid<f64, 1>, Grid<f64, 1>)>>>;
+    let st: GridPair = Rc::new(RefCell::new(None));
     let s2 = st.clone();
 
     let mut cfg = config(2, 2);

@@ -100,7 +100,7 @@ impl Driver {
     /// (step/continue), otherwise starting a queued task (staging data as
     /// needed), otherwise a staging move toward a future start.
     fn choose(&mut self, program: &Program, state: &SystemState) -> Option<Transition> {
-        if self.rng.gen_range(0..100) < self.chaos_percent {
+        if self.rng.gen_range(0u32..100) < self.chaos_percent {
             if let Some(t) = self.random_data_move(program, state) {
                 return Some(t);
             }

@@ -516,6 +516,7 @@ impl<T: Topology> Network<T> {
     /// batch as a unit (a retry re-bills the entire flush; a definitive
     /// loss fails every member). Accounted under the batch counters in
     /// [`TrafficStats`] on top of the ordinary remote tally.
+    #[allow(clippy::too_many_arguments)]
     pub fn transfer_batch(
         &mut self,
         now: SimTime,

@@ -60,7 +60,7 @@ proptest! {
             if src == dst {
                 continue;
             }
-            now = now + allscale_des::SimDuration::from_nanos(gap);
+            now += allscale_des::SimDuration::from_nanos(gap);
             let arrival = n.transfer(now, src, dst, bytes);
             prop_assert!(
                 arrival >= last_arrival,

@@ -224,6 +224,19 @@ fn args_of(ev: &TraceEvent) -> String {
             put("phase", phase.to_string());
             put("restored_bytes", restored_bytes.to_string());
         }
+        EventKind::StealRequest { thief, victim } => {
+            put("thief", thief.to_string());
+            put("victim", victim.to_string());
+        }
+        EventKind::StealGrant { victim, thief, task } => {
+            put("victim", victim.to_string());
+            put("thief", thief.to_string());
+            put("task", task.to_string());
+        }
+        EventKind::StealDeny { victim, thief } => {
+            put("victim", victim.to_string());
+            put("thief", thief.to_string());
+        }
         EventKind::PhaseBegin { phase } | EventKind::PhaseEnd { phase } => {
             put("phase", phase.to_string())
         }

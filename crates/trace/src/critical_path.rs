@@ -230,6 +230,9 @@ pub fn critical_path(trace: &Trace) -> CriticalPathReport {
     let mut index_events: Vec<(u64, u32)> = Vec::new();
     let mut phase_begins: Vec<(u32, u64)> = Vec::new();
     let mut recoveries: Vec<u64> = Vec::new();
+    // Tasks that changed hands via work stealing: their latest forward
+    // hop is the victim→thief handoff and is labeled as such.
+    let mut stolen: Vec<u64> = Vec::new();
 
     for ev in &trace.events {
         match ev.kind {
@@ -281,6 +284,7 @@ pub fn critical_path(trace: &Trace) -> CriticalPathReport {
             }
             EventKind::PhaseBegin { phase } => phase_begins.push((phase, ev.ts_ns)),
             EventKind::Recovery { .. } => recoveries.push(ev.ts_ns),
+            EventKind::StealGrant { task, .. } => stolen.push(task),
             _ => {}
         }
     }
@@ -408,12 +412,13 @@ pub fn critical_path(trace: &Trace) -> CriticalPathReport {
             .filter(|x| x.2 == TransferPurpose::TaskForward)
             .max_by_key(|x| x.0 + x.1)
         {
+            let verb = if stolen.contains(&leaf) { "steal" } else { "forward" };
             walker.push(PathSegment {
                 start_ns: ts,
                 end_ns: ts + dur,
                 loc: leaf_loc,
                 category: PathCategory::Transfer,
-                label: format!("forward {bytes} B {src}→{dst}"),
+                label: format!("{verb} {bytes} B {src}→{dst}"),
             });
         }
 

@@ -296,6 +296,33 @@ pub enum EventKind {
         /// Checkpointed bytes grafted onto the heir.
         restored_bytes: u64,
     },
+    // ---------------------------------------------------------- scheduler
+    /// An idle locality asked a victim for queued work (instant at the
+    /// thief; the request itself is a billed control transfer).
+    StealRequest {
+        /// The asking (idle) locality.
+        thief: u32,
+        /// The locality asked.
+        victim: u32,
+    },
+    /// A victim handed the back of its queue to a thief (instant at the
+    /// victim; the descriptor travels as a billed `TaskForward`).
+    StealGrant {
+        /// The granting locality.
+        victim: u32,
+        /// The receiving locality.
+        thief: u32,
+        /// The stolen task.
+        task: u64,
+    },
+    /// A victim had nothing to give (instant at the victim; the reply
+    /// is a billed control transfer).
+    StealDeny {
+        /// The denying locality.
+        victim: u32,
+        /// The asking locality.
+        thief: u32,
+    },
     // -------------------------------------------------------- application
     /// A phase's root work item was requested from the driver (instant,
     /// locality 0).
@@ -337,6 +364,9 @@ impl EventKind {
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::Suspicion { .. } => "suspicion",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::StealRequest { .. } => "steal-request",
+            EventKind::StealGrant { .. } => "steal-grant",
+            EventKind::StealDeny { .. } => "steal-deny",
             EventKind::PhaseBegin { .. } => "phase-begin",
             EventKind::PhaseEnd { .. } => "phase-end",
         }
@@ -367,6 +397,9 @@ impl EventKind {
             EventKind::Checkpoint { .. }
             | EventKind::Suspicion { .. }
             | EventKind::Recovery { .. } => "resilience",
+            EventKind::StealRequest { .. }
+            | EventKind::StealGrant { .. }
+            | EventKind::StealDeny { .. } => "sched",
             EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => "phase",
         }
     }

@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Provides the API surface this workspace's `harness = false` benches
+//! use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock sampler: per benchmark it warms up once, times
+//! `sample_size` calls, and prints min/mean/max (plus a throughput rate
+//! when one was declared). No statistics, no plots, no baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared data rate of a benchmark, used to print a derived rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in the real crate.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run and time `f` `sample_size` times (after one warm-up call).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark (an anonymous single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            _criterion: self,
+            name: String::new(),
+            sample_size: 20,
+            throughput: None,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} \u{b5}s", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed calls each benchmark makes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration data volume, enabling rate output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut b);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    /// Run one benchmark that takes a parameter by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.samples);
+        self
+    }
+
+    /// Finish the group (all reporting already happened eagerly).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if samples.is_empty() {
+            eprintln!("  {full}: no samples (b.iter was never called)");
+            return;
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+                let mibps = n as f64 / 1024.0 / 1024.0 / mean.as_secs_f64();
+                format!("  ({mibps:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                let eps = n as f64 / mean.as_secs_f64();
+                format!("  ({eps:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "  {full}: [{} {} {}]{rate}",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+        );
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the named groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // one warm-up + three samples
+        assert_eq!(calls, 4);
+        g.finish();
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(1024));
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::new("param", 42), &7usize, |b, &i| {
+            b.iter(|| {
+                seen = i;
+            })
+        });
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("union", 64).to_string(), "union/64");
+    }
+}

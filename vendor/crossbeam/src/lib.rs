@@ -1,0 +1,106 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! The workspace uses exactly one piece of crossbeam: bounded channels for
+//! the strict hand-off protocol in `allscale-des::thread_actor`. This crate
+//! provides that API over `std::sync::mpsc::sync_channel`, which has the
+//! same blocking semantics for the capacity-1 rendezvous pattern used there.
+
+/// Multi-producer channels with a bounded buffer.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half. Cloneable; `send` blocks while the buffer is full and
+    /// errors once the receiver is gone.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half. `recv` blocks until a message or disconnection.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// The error returned when sending into a disconnected channel; carries
+    /// the unsent message.
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: `Debug` without requiring `T: Debug`, so
+    // `.expect(...)` works on `Result<(), SendError<T>>` for any `T`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// The error returned when receiving from an empty, disconnected
+    /// channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Block until the message is buffered or the receiver disconnects.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// A non-blocking receive attempt.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create a channel buffering at most `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv(), Ok(7));
+        }
+
+        #[test]
+        fn disconnected_send_errors_with_value() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            let e = tx.send(9).unwrap_err();
+            assert_eq!(e.0, 9);
+        }
+
+        #[test]
+        fn disconnected_recv_errors() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cross_thread_handoff() {
+            let (tx, rx) = bounded::<u64>(1);
+            let h = std::thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u64> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            h.join().unwrap();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+    }
+}

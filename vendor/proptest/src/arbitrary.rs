@@ -1,0 +1,90 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::{full_spectrum_f64, FnStrategy, TestRng};
+use rand::{Rng, RngCore};
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy, as a plain sampling function.
+    fn arbitrary() -> FnStrategy<Self>;
+}
+
+/// The canonical strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> FnStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! arb_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> FnStrategy<Self> {
+                FnStrategy(|rng: &mut TestRng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> FnStrategy<Self> {
+        FnStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Full-spectrum `f64` from raw bits — includes infinities, NaNs and
+    /// subnormals, exactly the values a codec must not mangle. Tests that
+    /// compare with `==` are expected to filter NaN themselves (and the
+    /// ones in this workspace do).
+    fn arbitrary() -> FnStrategy<Self> {
+        FnStrategy(full_spectrum_f64)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary() -> FnStrategy<Self> {
+        FnStrategy(|rng| f32::from_bits(rng.next_u64() as u32))
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary() -> FnStrategy<Self> {
+        FnStrategy(|rng: &mut TestRng| loop {
+            // Mostly ASCII, sometimes any scalar value.
+            let raw = if rng.gen_range(0u32..4) == 0 {
+                rng.gen_range(0u32..=char::MAX as u32)
+            } else {
+                rng.gen_range(0x20u32..0x7f)
+            };
+            if let Some(c) = char::from_u32(raw) {
+                return c;
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ints_cover_sign_bit() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = any::<i32>();
+        let vals: Vec<i32> = (0..64).map(|_| strat.sample(&mut rng)).collect();
+        assert!(vals.iter().any(|v| *v < 0));
+        assert!(vals.iter().any(|v| *v >= 0));
+    }
+
+    #[test]
+    fn chars_are_valid_scalars() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = any::<char>();
+        for _ in 0..256 {
+            let c = strat.sample(&mut rng);
+            assert!(char::from_u32(c as u32).is_some());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// A size specification: an exact size or a (half-open / inclusive) range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy for `BTreeMap<K, V>` with an entry count drawn from `size`.
+///
+/// Duplicate keys collapse, so the sampled map may be smaller than the
+/// drawn count (same caveat as the real crate's minimum-size behavior).
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        // A few extra draws to approach the requested size despite key
+        // collisions; never loops forever on tiny key domains.
+        let mut attempts = 0;
+        while map.len() < len && attempts < len * 4 + 4 {
+            map.insert(self.key.sample(rng), self.value.sample(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+/// `prop::collection::btree_map(key, value, size)`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V> {
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let strat = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let strat = vec(any::<bool>(), 7usize);
+        let mut rng = TestRng::seed_from_u64(1);
+        assert_eq!(strat.sample(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn btree_map_respects_upper_bound() {
+        let strat = btree_map(any::<u32>(), any::<u8>(), 0..4);
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(strat.sample(&mut rng).len() < 4);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `proptest::option::of` — strategies for `Option<T>`.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy producing `Some` three times out of four.
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.0.sample(rng))
+        }
+    }
+}
+
+/// Wrap a strategy's values in `Option`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let strat = of(0u32..10);
+        let mut rng = TestRng::seed_from_u64(2);
+        let vals: Vec<_> = (0..64).map(|_| strat.sample(&mut rng)).collect();
+        assert!(vals.iter().any(|v| v.is_none()));
+        assert!(vals.iter().any(|v| v.is_some()));
+    }
+}

@@ -1,0 +1,297 @@
+//! The value-generation core: `Strategy` and its combinators.
+
+use std::rc::Rc;
+
+use rand::{Rng, RngCore};
+
+/// The RNG handed to strategies; seeded deterministically per case.
+pub type TestRng = rand::rngs::StdRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+
+    /// Build recursive values: `self` generates leaves, `recurse` wraps an
+    /// inner strategy one level deeper. At each level the result picks
+    /// uniformly between a leaf and a deeper value, so sampled depths vary
+    /// between 0 and `depth`.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Build from a non-empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+/// A strategy from a plain function pointer (used by `any::<T>()`).
+pub struct FnStrategy<T>(pub fn(&mut TestRng) -> T);
+
+impl<T> Clone for FnStrategy<T> {
+    fn clone(&self) -> Self {
+        FnStrategy(self.0)
+    }
+}
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Character pool for string patterns: printable ASCII plus a few
+/// multi-byte code points so UTF-8 handling is exercised.
+const EXTRA_CHARS: &[char] = &['\u{e9}', '\u{3b1}', '\u{4e2d}', '\u{1f680}', '\u{2200}'];
+
+fn sample_char(rng: &mut TestRng) -> char {
+    if rng.gen_range(0usize..8) == 0 {
+        EXTRA_CHARS[rng.gen_range(0..EXTRA_CHARS.len())]
+    } else {
+        char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+    }
+}
+
+/// String strategies from a tiny regex subset: `.{a,b}` (random string of
+/// length `a..=b`); any other pattern is treated as a literal.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = rng.gen_range(lo..=hi);
+            (0..len).map(|_| sample_char(rng)).collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?;
+    let rest = rest.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+ ))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// `rng.gen::<T>()` niceties used by `any` live in `arbitrary`, but a
+// couple of helpers are shared from here.
+pub(crate) fn full_spectrum_f64(rng: &mut TestRng) -> f64 {
+    f64::from_bits(rng.next_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = (3u32..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1i64..=4).sample(&mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let s = ".{0,8}".sample(&mut rng);
+            assert!(s.chars().count() <= 8);
+        }
+        assert_eq!("literal".sample(&mut rng), "literal");
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded_and_varied() {
+        #[derive(Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(i) => 1 + depth(i),
+            }
+        }
+        let strat = Just(0u8)
+            .prop_map(|_| T::Leaf)
+            .prop_recursive(3, 16, 2, |inner| inner.prop_map(|t| T::Node(Box::new(t))));
+        let mut rng = TestRng::seed_from_u64(3);
+        let depths: Vec<usize> = (0..64).map(|_| depth(&strat.sample(&mut rng))).collect();
+        assert!(depths.iter().all(|&d| d <= 3));
+        assert!(depths.contains(&0));
+        assert!(depths.iter().any(|&d| d > 0));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let strat = (0u64..1000, ".{0,8}", 0f64..1.0);
+        let mut a = TestRng::seed_from_u64(11);
+        let mut b = TestRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let (x1, s1, f1) = strat.sample(&mut a);
+            let (x2, s2, f2) = strat.sample(&mut b);
+            assert_eq!(x1, x2);
+            assert_eq!(s1, s2);
+            assert_eq!(f1.to_bits(), f2.to_bits());
+        }
+    }
+}

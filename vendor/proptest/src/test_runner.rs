@@ -1,0 +1,134 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use crate::strategy::TestRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Construct with `with_cases` or struct-update
+/// syntax over `default()`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Extra reject budget on top of the per-case allowance; the run
+    /// aborts once total rejections exceed `cases * 64 +` this.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; fails the whole test.
+    Fail(String),
+    /// `prop_assume!` filtered the inputs; the case is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// A rejected (filtered) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `config.cases` accepted cases of `body`, seeding the RNG from the
+/// test name and case number so every run of a given test binary examines
+/// the same deterministic inputs. Panics (with the per-case seed, for
+/// replay by hand) on the first failing case.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    let reject_budget = (config.cases as u64) * 64 + config.max_global_rejects as u64;
+    while accepted < config.cases {
+        case += 1;
+        let seed = base.wrapping_add(case);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "{name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {case} (rng seed {seed}) failed: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_proptest(&ProptestConfig::with_cases(17), "runs", |_rng| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut total = 0u32;
+        let mut kept = 0u32;
+        run_proptest(&ProptestConfig::with_cases(10), "rej", |_rng| {
+            total += 1;
+            if total.is_multiple_of(2) {
+                return Err(TestCaseError::reject("odd ones out"));
+            }
+            kept += 1;
+            Ok(())
+        });
+        assert_eq!(kept, 10);
+        assert!(total > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run_proptest(&ProptestConfig::with_cases(4), "fails", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

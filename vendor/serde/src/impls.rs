@@ -1,0 +1,425 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace moves
+//! over the wire: primitives, strings, tuples, arrays, `Vec`, `Option`,
+//! `Box`, and the ordered/hashed maps.
+
+use crate::de::{
+    Deserialize, Deserializer, Error as DeError, MapAccess, SeqAccess, Visitor,
+};
+use crate::ser::{
+    Serialize, SerializeMap, SerializeSeq, SerializeTuple, Serializer,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! prim {
+    ($ty:ty, $ser:ident, $deser:ident, $visit:ident, $expect:literal) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.$ser(*self)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expect)
+                    }
+                    fn $visit<E: DeError>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                d.$deser(V)
+            }
+        }
+    };
+}
+
+prim!(bool, serialize_bool, deserialize_bool, visit_bool, "a bool");
+prim!(i8, serialize_i8, deserialize_i8, visit_i8, "an i8");
+prim!(i16, serialize_i16, deserialize_i16, visit_i16, "an i16");
+prim!(i32, serialize_i32, deserialize_i32, visit_i32, "an i32");
+prim!(i64, serialize_i64, deserialize_i64, visit_i64, "an i64");
+prim!(u8, serialize_u8, deserialize_u8, visit_u8, "a u8");
+prim!(u16, serialize_u16, deserialize_u16, visit_u16, "a u16");
+prim!(u32, serialize_u32, deserialize_u32, visit_u32, "a u32");
+prim!(u64, serialize_u64, deserialize_u64, visit_u64, "a u64");
+prim!(f32, serialize_f32, deserialize_f32, visit_f32, "an f32");
+prim!(f64, serialize_f64, deserialize_f64, visit_f64, "an f64");
+prim!(char, serialize_char, deserialize_char, visit_char, "a char");
+
+// usize/isize travel as their 64-bit forms, like the real crate.
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(*self as u64)
+    }
+}
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(d)?;
+        usize::try_from(v).map_err(|_| DeError::custom("usize overflow"))
+    }
+}
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_i64(*self as i64)
+    }
+}
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = i64::deserialize(d)?;
+        isize::try_from(v).map_err(|_| DeError::custom("isize overflow"))
+    }
+}
+
+// ------------------------------------------------------------------- strings
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: DeError>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_string(V)
+    }
+}
+
+// ----------------------------------------------------------------- unit/refs
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        d.deserialize_unit(V)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+// -------------------------------------------------------------------- option
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D2: Deserializer<'de>>(
+                self,
+                d: D2,
+            ) -> Result<Option<T>, D2::Error> {
+                T::deserialize(d).map(Some)
+            }
+            fn visit_unit<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+        }
+        d.deserialize_option(V(PhantomData))
+    }
+}
+
+// ----------------------------------------------------------------- sequences
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(v) = seq.next_element()? {
+                    out.push(v);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut t = s.serialize_tuple(N)?;
+        for item in self {
+            t.serialize_element(item)?;
+        }
+        t.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of {N} elements")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for i in 0..N {
+                    match seq.next_element()? {
+                        Some(v) => out.push(v),
+                        None => return Err(DeError::invalid_length(i, &self)),
+                    }
+                }
+                out.try_into()
+                    .map_err(|_| DeError::custom("array length mismatch"))
+            }
+        }
+        d.deserialize_tuple(N, V::<T, N>(PhantomData))
+    }
+}
+
+// -------------------------------------------------------------------- tuples
+
+macro_rules! tuple_impl {
+    ($len:expr => $(($idx:tt $t:ident $v:ident))+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut t = s.serialize_tuple($len)?;
+                $(t.serialize_element(&self.$idx)?;)+
+                t.end()
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V<$($t),+>(PhantomData<($($t,)+)>);
+                impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for V<$($t),+> {
+                    type Value = ($($t,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of {} elements", $len)
+                    }
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let mut i = 0usize;
+                        $(
+                            let $v: $t = match seq.next_element()? {
+                                Some(v) => v,
+                                None => return Err(DeError::invalid_length(i, &self)),
+                            };
+                            i += 1;
+                        )+
+                        let _ = i;
+                        Ok(($($v,)+))
+                    }
+                }
+                d.deserialize_tuple($len, V(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => (0 T0 v0));
+tuple_impl!(2 => (0 T0 v0) (1 T1 v1));
+tuple_impl!(3 => (0 T0 v0) (1 T1 v1) (2 T2 v2));
+tuple_impl!(4 => (0 T0 v0) (1 T1 v1) (2 T2 v2) (3 T3 v3));
+tuple_impl!(5 => (0 T0 v0) (1 T1 v1) (2 T2 v2) (3 T3 v3) (4 T4 v4));
+tuple_impl!(6 => (0 T0 v0) (1 T1 v1) (2 T2 v2) (3 T3 v3) (4 T4 v4) (5 T5 v5));
+tuple_impl!(7 => (0 T0 v0) (1 T1 v1) (2 T2 v2) (3 T3 v3) (4 T4 v4) (5 T5 v5) (6 T6 v6));
+tuple_impl!(8 => (0 T0 v0) (1 T1 v1) (2 T2 v2) (3 T3 v3) (4 T4 v4) (5 T5 v5) (6 T6 v6) (7 T7 v7));
+
+// ---------------------------------------------------------------------- maps
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut m = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            m.serialize_key(k)?;
+            m.serialize_value(v)?;
+        }
+        m.end()
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut m = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            m.serialize_key(k)?;
+            m.serialize_value(v)?;
+        }
+        m.end()
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+            type Value = BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some(k) = map.next_key()? {
+                    let v = map.next_value()?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct Vis<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for Vis<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + Hash,
+            V: Deserialize<'de>,
+            H: BuildHasher + Default,
+        {
+            type Value = HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = HashMap::with_hasher(H::default());
+                while let Some(k) = map.next_key()? {
+                    let v = map.next_value()?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_map(Vis(PhantomData))
+    }
+}
+
+// ---------------------------------------------------------------------- sets
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Eq + Hash, H: BuildHasher> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Vec::<T>::deserialize(d)?.into_iter().collect())
+    }
+}

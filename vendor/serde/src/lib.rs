@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Implements serde's serialization data model — the [`ser`] and [`de`]
+//! trait families plus impls for the std types this workspace serializes —
+//! faithfully enough that `allscale-net::wire` (a complete non-self-
+//! describing `Serializer`/`Deserializer` pair) and the `#[derive]`s across
+//! the workspace compile and round-trip unchanged. Not supported: borrowed
+//! deserialization of struct fields, `serde_json`-style self-describing
+//! formats, and the long tail of `#[serde(...)]` attributes (only
+//! `#[serde(bound(...))]` is honored by the vendored derive).
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

@@ -1,0 +1,729 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes that actually occur in this workspace, parsing the item's
+//! token stream directly (no `syn`/`quote` — those live on crates.io too):
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - enums whose variants are unit, newtype, tuple or struct-like;
+//! - generics with inline bounds, including `const` parameters;
+//! - the `#[serde(bound(serialize = "...", deserialize = "..."))]`
+//!   attribute (pasted verbatim into the impl's `where` clause; without it
+//!   every type parameter gets the default `Serialize` / `Deserialize<'de>`
+//!   bound).
+//!
+//! Other `#[serde(...)]` attributes are rejected at compile time rather
+//! than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------ parsing
+
+struct Input {
+    name: String,
+    /// Generic parameter declarations with their inline bounds, no angle
+    /// brackets; empty when the item is not generic.
+    impl_generics: String,
+    /// Generic argument names only (`T , D`), no angle brackets.
+    ty_generics: String,
+    /// Names of the type parameters (excludes lifetimes and consts).
+    type_params: Vec<String>,
+    ser_bound: Option<String>,
+    de_bound: Option<String>,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+fn to_src(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .cloned()
+        .collect::<TokenStream>()
+        .to_string()
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Split `tokens` at top-level commas, tracking `<`/`>` depth (groups are
+/// already atomic trees).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for tt in tokens {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Pull a string literal's content out of its token form.
+fn literal_content(tt: &TokenTree) -> Option<String> {
+    let s = tt.to_string();
+    let s = s.strip_prefix('"')?.strip_suffix('"')?;
+    Some(s.replace("\\\"", "\""))
+}
+
+/// Extract the `serialize`/`deserialize` bound strings from the stream of a
+/// `#[serde(bound(...))]` attribute body.
+fn parse_serde_attr(group: &[TokenTree], input: &mut Input) -> Result<(), String> {
+    // group = [serde, (bound(serialize = "..", deserialize = ".."))]
+    let inner: Vec<TokenTree> = match group.get(1) {
+        Some(TokenTree::Group(g)) => g.stream().into_iter().collect(),
+        _ => return Err("unsupported #[serde] attribute form".into()),
+    };
+    match inner.first().and_then(ident_of).as_deref() {
+        Some("bound") => {}
+        other => {
+            return Err(format!(
+                "unsupported #[serde({})] attribute — the vendored derive only knows bound(...)",
+                other.unwrap_or("?")
+            ))
+        }
+    }
+    let args: Vec<TokenTree> = match inner.get(1) {
+        Some(TokenTree::Group(g)) => g.stream().into_iter().collect(),
+        _ => return Err("malformed #[serde(bound(...))]".into()),
+    };
+    for part in split_commas(&args) {
+        if part.len() != 3 || !is_punct(&part[1], '=') {
+            return Err("malformed #[serde(bound(...))] entry".into());
+        }
+        let key = ident_of(&part[0]).unwrap_or_default();
+        let val =
+            literal_content(&part[2]).ok_or("bound value must be a string literal")?;
+        match key.as_str() {
+            "serialize" => input.ser_bound = Some(val),
+            "deserialize" => input.de_bound = Some(val),
+            _ => return Err(format!("unsupported bound key `{key}`")),
+        }
+    }
+    Ok(())
+}
+
+/// Skip attribute / visibility tokens at `i`, feeding `#[serde]` attributes
+/// into `input` when it is provided.
+fn skip_attrs_and_vis(
+    tokens: &[TokenTree],
+    mut i: usize,
+    input: Option<&mut Input>,
+) -> Result<usize, String> {
+    let mut input = input;
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if body.first().and_then(ident_of).as_deref() == Some("serde") {
+                        match input.as_deref_mut() {
+                            Some(inp) => parse_serde_attr(&body, inp)?,
+                            None => {
+                                return Err(
+                                    "#[serde] attributes on fields/variants are unsupported"
+                                        .into(),
+                                )
+                            }
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                _ => return Err("malformed attribute".into()),
+            }
+        }
+        if ident_of(tokens.get(i).unwrap_or(&TokenTree::Punct(
+            proc_macro::Punct::new(';', proc_macro::Spacing::Alone),
+        )))
+        .as_deref()
+            == Some("pub")
+        {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        return Ok(i);
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i, None)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]).ok_or("expected field name")?;
+        fields.push(name);
+        i += 1;
+        if !is_punct(tokens.get(i).ok_or("expected `:`")?, ':') {
+            return Err("expected `:` after field name".into());
+        }
+        i += 1;
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if is_punct(&tokens[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    Ok(split_commas(&tokens).len())
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i, None)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]).ok_or("expected variant name")?;
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn parse_input(item: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut input = Input {
+        name: String::new(),
+        impl_generics: String::new(),
+        ty_generics: String::new(),
+        type_params: Vec::new(),
+        ser_bound: None,
+        de_bound: None,
+        data: Data::Struct(Fields::Unit),
+    };
+    let mut i = 0;
+    // Outer attributes and visibility; captures #[serde(bound(...))].
+    loop {
+        let j = skip_attrs_and_vis(&tokens, i, Some(&mut input))?;
+        if j == i {
+            break;
+        }
+        i = j;
+    }
+    let kind = ident_of(tokens.get(i).ok_or("empty item")?)
+        .ok_or("expected struct or enum")?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive for `{kind}` items"));
+    }
+    i += 1;
+    input.name = ident_of(tokens.get(i).ok_or("missing item name")?)
+        .ok_or("missing item name")?;
+    i += 1;
+
+    // Generic parameter list.
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        i += 1;
+        let start = i;
+        let mut depth = 1i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let generics = &tokens[start..i];
+        i += 1; // past `>`
+        input.impl_generics = to_src(generics);
+        let mut names = Vec::new();
+        for param in split_commas(generics) {
+            if param.is_empty() {
+                continue;
+            }
+            if is_punct(&param[0], '\'') {
+                let lt = ident_of(param.get(1).ok_or("bad lifetime")?)
+                    .ok_or("bad lifetime")?;
+                names.push(format!("'{lt}"));
+            } else if ident_of(&param[0]).as_deref() == Some("const") {
+                let n = ident_of(param.get(1).ok_or("bad const param")?)
+                    .ok_or("bad const param")?;
+                names.push(n);
+            } else {
+                let n = ident_of(&param[0]).ok_or("bad type param")?;
+                names.push(n.clone());
+                input.type_params.push(n);
+            }
+        }
+        input.ty_generics = names.join(" , ");
+    }
+
+    if ident_of(tokens.get(i).unwrap_or(&TokenTree::Punct(proc_macro::Punct::new(
+        ';',
+        proc_macro::Spacing::Alone,
+    ))))
+    .as_deref()
+        == Some("where")
+    {
+        return Err("where clauses on derived items are unsupported; use inline bounds".into());
+    }
+
+    input.data = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(g.stream())?))
+            }
+            Some(tt) if is_punct(tt, ';') => Data::Struct(Fields::Unit),
+            _ => return Err("malformed struct body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("malformed enum body".into()),
+        }
+    };
+    Ok(input)
+}
+
+// ------------------------------------------------------------------ codegen
+
+impl Input {
+    /// `Name` or `Name < T , D >`.
+    fn self_ty(&self) -> String {
+        if self.ty_generics.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{} < {} >", self.name, self.ty_generics)
+        }
+    }
+
+    fn where_clause(&self, custom: &Option<String>, default_bound: &str) -> String {
+        if let Some(b) = custom {
+            if b.trim().is_empty() {
+                return String::new();
+            }
+            return format!("where {b}");
+        }
+        if self.type_params.is_empty() {
+            return String::new();
+        }
+        let bounds: Vec<String> = self
+            .type_params
+            .iter()
+            .map(|p| format!("{p} : {default_bound}"))
+            .collect();
+        format!("where {}", bounds.join(" , "))
+    }
+
+    /// Generic list for an `impl`, optionally with a leading `'de`.
+    fn impl_list(&self, with_de: bool) -> String {
+        match (with_de, self.impl_generics.is_empty()) {
+            (false, true) => String::new(),
+            (false, false) => format!("< {} >", self.impl_generics),
+            (true, true) => "< 'de >".into(),
+            (true, false) => format!("< 'de , {} >", self.impl_generics),
+        }
+    }
+
+    fn phantom_ty(&self) -> String {
+        if self.type_params.is_empty() {
+            "()".into()
+        } else {
+            format!("( {} ,)", self.type_params.join(" , "))
+        }
+    }
+}
+
+fn ser_fields_body(target: &str, fields: &Fields, input: &Input) -> String {
+    let name = &input.name;
+    match fields {
+        Fields::Unit => unreachable!("unit shapes are serialized directly"),
+        Fields::Named(names) => {
+            let mut body = format!(
+                "let mut __st = ::serde::Serializer::{target}?;\n"
+            );
+            for f in names {
+                body.push_str(&format!(
+                    "__Compound::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("__Compound::end(__st)\n");
+            let _ = name;
+            body
+        }
+        Fields::Tuple(n) => {
+            let mut body = format!(
+                "let mut __st = ::serde::Serializer::{target}?;\n"
+            );
+            for idx in 0..*n {
+                body.push_str(&format!(
+                    "__Compound::serialize_field(&mut __st, &self.{idx})?;\n"
+                ));
+            }
+            body.push_str("__Compound::end(__st)\n");
+            body
+        }
+    }
+}
+
+fn derive_serialize_impl(input: &Input) -> Result<String, String> {
+    let name = &input.name;
+    let self_ty = input.self_ty();
+    let impl_list = input.impl_list(false);
+    let where_clause = input.where_clause(&input.ser_bound, ":: serde :: Serialize");
+
+    let body = match &input.data {
+        Data::Struct(Fields::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__s, \"{name}\")")
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let n = fields.len();
+            format!(
+                "use ::serde::ser::SerializeStruct as __Compound;\n{}",
+                ser_fields_body(
+                    &format!("serialize_struct(__s, \"{name}\", {n}usize)"),
+                    &Fields::Named(fields.clone()),
+                    input
+                )
+            )
+        }
+        Data::Struct(Fields::Tuple(n)) => format!(
+            "use ::serde::ser::SerializeTupleStruct as __Compound;\n{}",
+            ser_fields_body(
+                &format!("serialize_tuple_struct(__s, \"{name}\", {n}usize)"),
+                &Fields::Tuple(*n),
+                input
+            )
+        ),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, (vname, fields)) in variants.iter().enumerate() {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__s, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__s, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nuse ::serde::ser::SerializeTupleVariant as __Compound;\nlet mut __st = ::serde::Serializer::serialize_tuple_variant(__s, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binds.join(" , ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "__Compound::serialize_field(&mut __st, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("__Compound::end(__st)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fnames) => {
+                        let n = fnames.len();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nuse ::serde::ser::SerializeStructVariant as __Compound;\nlet mut __st = ::serde::Serializer::serialize_struct_variant(__s, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            fnames.join(" , ")
+                        );
+                        for f in fnames {
+                            arm.push_str(&format!(
+                                "__Compound::serialize_field(&mut __st, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("__Compound::end(__st)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl {impl_list} ::serde::Serialize for {self_ty} {where_clause} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    ))
+}
+
+/// The `visit_seq` body constructing `ctor { f0: .., f1: .. }` or
+/// `ctor(v0, v1, ..)` from sequential elements.
+fn build_from_seq(ctor: &str, fields: &Fields) -> String {
+    let next = |i: usize| {
+        format!(
+            "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     ::serde::de::Error::invalid_length({i}usize, &self)),\n\
+             }}"
+        )
+    };
+    match fields {
+        Fields::Unit => format!("::core::result::Result::Ok({ctor})"),
+        Fields::Tuple(n) => {
+            let parts: Vec<String> = (0..*n).map(next).collect();
+            format!(
+                "::core::result::Result::Ok({ctor}(\n{}\n))",
+                parts.join(",\n")
+            )
+        }
+        Fields::Named(names) => {
+            let parts: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{f}: {}", next(i)))
+                .collect();
+            format!(
+                "::core::result::Result::Ok({ctor} {{\n{}\n}})",
+                parts.join(",\n")
+            )
+        }
+    }
+}
+
+fn derive_deserialize_impl(input: &Input) -> Result<String, String> {
+    let name = &input.name;
+    let self_ty = input.self_ty();
+    let impl_list = input.impl_list(true);
+    let visitor_decl_generics = input.impl_list(false);
+    let visitor_ty = if input.ty_generics.is_empty() {
+        "__Visitor".to_string()
+    } else {
+        format!("__Visitor < {} >", input.ty_generics)
+    };
+    let where_clause =
+        input.where_clause(&input.de_bound, ":: serde :: Deserialize < 'de >");
+    let phantom = input.phantom_ty();
+
+    let (visit_method, driver) = match &input.data {
+        Data::Struct(Fields::Unit) => (
+            format!(
+                "fn visit_unit<__E: ::serde::de::Error>(self) \
+                     -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}"
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_unit_struct(__d, \"{name}\", \
+                 __Visitor(::core::marker::PhantomData))"
+            ),
+        ),
+        Data::Struct(fields @ Fields::Named(fnames)) => {
+            let field_names: Vec<String> =
+                fnames.iter().map(|f| format!("\"{f}\"")).collect();
+            (
+                format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {}\n\
+                     }}",
+                    build_from_seq(name, fields)
+                ),
+                format!(
+                    "::serde::Deserializer::deserialize_struct(__d, \"{name}\", \
+                     &[{}], __Visitor(::core::marker::PhantomData))",
+                    field_names.join(" , ")
+                ),
+            )
+        }
+        Data::Struct(fields @ Fields::Tuple(n)) => (
+            format!(
+                "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                     {}\n\
+                 }}",
+                build_from_seq(name, fields)
+            ),
+            format!(
+                "::serde::Deserializer::deserialize_tuple_struct(__d, \"{name}\", \
+                 {n}usize, __Visitor(::core::marker::PhantomData))"
+            ),
+        ),
+        Data::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+            let mut arms = String::new();
+            for (idx, (vname, fields)) in variants.iter().enumerate() {
+                let arm_body = match fields {
+                    Fields::Unit => format!(
+                        "{{ ::serde::de::VariantAccess::unit_variant(__var)?;\n\
+                           ::core::result::Result::Ok({name}::{vname}) }}"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::de::VariantAccess::newtype_variant(__var)?))"
+                    ),
+                    fields @ (Fields::Tuple(_) | Fields::Named(_)) => {
+                        let n = match fields {
+                            Fields::Tuple(n) => *n,
+                            Fields::Named(f) => f.len(),
+                            Fields::Unit => unreachable!(),
+                        };
+                        let inner = build_from_seq(&format!("{name}::{vname}"), fields);
+                        format!(
+                            "{{\n\
+                             struct __V{idx} {visitor_decl_generics} (::core::marker::PhantomData<{phantom}>);\n\
+                             impl {impl_list} ::serde::de::Visitor<'de> for __V{idx}{ty_args} {where_clause} {{\n\
+                                 type Value = {self_ty};\n\
+                                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                                     __f.write_str(\"variant {name}::{vname}\")\n\
+                                 }}\n\
+                                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                                     -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                     {inner}\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::tuple_variant(__var, {n}usize, \
+                                 __V{idx}(::core::marker::PhantomData))\n\
+                             }}",
+                            ty_args = if input.ty_generics.is_empty() {
+                                String::new()
+                            } else {
+                                format!(" < {} >", input.ty_generics)
+                            },
+                        )
+                    }
+                };
+                arms.push_str(&format!("{idx}u32 => {arm_body},\n"));
+            }
+            (
+                format!(
+                    "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __a: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__idx, __var): (u32, _) = ::serde::de::EnumAccess::variant(__a)?;\n\
+                         match __idx {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                                 format_args!(\"invalid variant index {{__other}} for enum {name}\"))),\n\
+                         }}\n\
+                     }}"
+                ),
+                format!(
+                    "::serde::Deserializer::deserialize_enum(__d, \"{name}\", \
+                     &[{}], __Visitor(::core::marker::PhantomData))",
+                    variant_names.join(" , ")
+                ),
+            )
+        }
+    };
+
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl {impl_list} ::serde::Deserialize<'de> for {self_ty} {where_clause} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor {visitor_decl_generics} (::core::marker::PhantomData<{phantom}>);\n\
+                 impl {impl_list} ::serde::de::Visitor<'de> for {visitor_ty} {where_clause} {{\n\
+                     type Value = {self_ty};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"{kind} {name}\")\n\
+                     }}\n\
+                     {visit_method}\n\
+                 }}\n\
+                 {driver}\n\
+             }}\n\
+         }}\n",
+        kind = match input.data {
+            Data::Struct(_) => "struct",
+            Data::Enum(_) => "enum",
+        },
+    ))
+}
+
+fn run(
+    item: TokenStream,
+    gen: fn(&Input) -> Result<String, String>,
+    which: &str,
+) -> TokenStream {
+    let out = parse_input(item).and_then(|input| gen(&input));
+    match out {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| panic!("derive({which}) produced unparseable code: {e}")),
+        Err(msg) => format!("::core::compile_error!(\"derive({which}): {msg}\");")
+            .parse()
+            .unwrap(),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    run(item, derive_serialize_impl, "Serialize")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    run(item, derive_deserialize_impl, "Deserialize")
+}
