@@ -8,11 +8,16 @@
 //!   profile of iPiC3D (field grids + per-cell particle lists);
 //! - [`tpc`]: two-point correlation via pruned kd-tree traversal.
 //!
+//! Beyond the paper's batch codes, [`serve`] is a sharded key-value
+//! store driven by the runtime's open-loop request-serving subsystem —
+//! the workload behind the SLO-placement saturation sweeps.
+//!
 //! Every application ships a sequential oracle; the AllScale and MPI
 //! versions are validated against it (and against each other) in tests.
 
 #![warn(missing_docs)]
 
 pub mod ipic3d;
+pub mod serve;
 pub mod stencil;
 pub mod tpc;

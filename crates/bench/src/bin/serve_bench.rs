@@ -1,0 +1,67 @@
+//! Serving-throughput trajectory (EXPERIMENTS.md entry SV1): sweep the
+//! offered load of the sharded key-value workload and record, per point,
+//! the achieved request rate, the latency percentiles and the host time
+//! the simulation took — the per-PR perf-tracking artifact.
+//!
+//! Emits `BENCH_serve.json` (path overridable as the first argument):
+//! a JSON array with one object per swept rate.
+//!
+//! ```text
+//! cargo run --release -p allscale-bench --bin serve_bench [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use allscale_apps::serve::{run_with, ServeAppConfig};
+use allscale_core::{RtConfig, SloConfig};
+
+const RATES: [f64; 5] = [100_000.0, 200_000.0, 400_000.0, 800_000.0, 1_200_000.0];
+const REQUESTS: u64 = 10_000;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let mut rows = Vec::new();
+    for (static_placement, label) in [(true, "static"), (false, "slo")] {
+        for rate in RATES {
+            let mut cfg = ServeAppConfig {
+                rate_rps: rate,
+                requests: REQUESTS,
+                ..Default::default()
+            };
+            if static_placement {
+                cfg.slo = SloConfig::default().observe_only();
+            }
+            let started = Instant::now();
+            let out = run_with(&cfg, RtConfig::test(4, 2));
+            let host_ms = started.elapsed().as_secs_f64() * 1e3;
+            let v = &out.report.monitor.serve;
+            println!(
+                "{label:7} offered {rate:>10.0} req/s -> achieved {:>10.0} req/s, p99 {:>9.1} us, host {host_ms:>8.1} ms",
+                v.completed_rps(),
+                v.latency.p99() as f64 / 1_000.0,
+            );
+            let mut row = String::new();
+            let _ = write!(
+                row,
+                "{{\"placement\":\"{label}\",\"offered_rps\":{rate},\"achieved_rps\":{:.1},\
+                 \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"completed\":{},\"shed\":{},\
+                 \"replications\":{},\"virtual_ms\":{:.3},\"host_ms\":{host_ms:.1}}}",
+                v.completed_rps(),
+                v.latency.p50(),
+                v.latency.p90(),
+                v.latency.p99(),
+                v.completed,
+                v.shed,
+                v.replications,
+                v.serve_ns as f64 / 1e6,
+            );
+            rows.push(row);
+        }
+    }
+    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("\nwrote {} points to {out_path}", rows.len());
+}

@@ -49,6 +49,12 @@ struct ItemSlot {
     holds: Vec<(TaskId, Box<dyn DynRegion>)>,
     /// Persistent replica coverage (broadcast read-mostly data).
     persistent: Box<dyn DynRegion>,
+    /// Regions whose ownership migration *to* this locality is still in
+    /// flight, per receiving task. The index already advertises us as
+    /// the owner (so concurrent planners cannot first-touch a second
+    /// primary into existence), but the data has not landed: any task
+    /// needing the region must park until the arrival lifts the fence.
+    inbound: Vec<(TaskId, Box<dyn DynRegion>)>,
 }
 
 /// The data item manager of one locality.
@@ -88,6 +94,7 @@ impl DataItemManager {
                 exports: Vec::new(),
                 holds: Vec::new(),
                 persistent,
+                inbound: Vec::new(),
             },
         );
     }
@@ -200,6 +207,37 @@ impl DataItemManager {
         let region = frag.region_dyn();
         slot.frag.insert_dyn(frag.as_ref());
         slot.persistent = slot.persistent.union_dyn(region.as_ref());
+    }
+
+    /// Fence `region` as an in-flight inbound migration for `task`: the
+    /// index already names this locality as the region's owner, but the
+    /// data is still on the wire. Planners must treat the region as
+    /// unavailable until [`DataItemManager::release_inbound`] lifts the
+    /// fence at arrival.
+    pub fn fence_inbound(&mut self, item: ItemId, task: TaskId, region: &dyn DynRegion) {
+        self.slot_mut(item).inbound.push((task, region.clone_box()));
+    }
+
+    /// Lift one inbound-migration fence of `task` matching `region`
+    /// exactly (its transfer arrived). Other in-flight pieces of the
+    /// same task stay fenced.
+    pub fn release_inbound(&mut self, item: ItemId, task: TaskId, region: &dyn DynRegion) {
+        let slot = self.slot_mut(item);
+        if let Some(i) = slot.inbound.iter().position(|(t, r)| {
+            *t == task
+                && r.difference_dyn(region).is_empty_dyn()
+                && region.difference_dyn(r.as_ref()).is_empty_dyn()
+        }) {
+            slot.inbound.remove(i);
+        }
+    }
+
+    /// Whether any part of `region` is behind an inbound-migration fence.
+    pub fn inbound_fenced(&self, item: ItemId, region: &dyn DynRegion) -> bool {
+        self.slot(item)
+            .inbound
+            .iter()
+            .any(|(_, r)| !r.intersect_dyn(region).is_empty_dyn())
     }
 
     /// Import serialized fragment data as owned (migration arrival).
@@ -369,6 +407,49 @@ impl DataItemManager {
         }
     }
 
+    /// Shrink the persistent-replica coverage of `item` by `region` — the
+    /// serving subsystem's *write invalidation* (and the SLO controller's
+    /// region-precise replica retirement) at a holder. Physical data is
+    /// dropped only where nothing else — owned region or a transient hold
+    /// — still covers it, mirroring [`DataItemManager::drop_persistent`].
+    pub fn drop_persistent_region(&mut self, item: ItemId, region: &dyn DynRegion) {
+        let slot = self.slot_mut(item);
+        let mut drop = slot.persistent.intersect_dyn(region);
+        slot.persistent = slot.persistent.difference_dyn(region);
+        drop = drop.difference_dyn(slot.owned.as_ref());
+        for (_, r) in &slot.holds {
+            if drop.is_empty_dyn() {
+                break;
+            }
+            drop = drop.difference_dyn(r.as_ref());
+        }
+        if !drop.is_empty_dyn() {
+            slot.frag.remove_dyn(drop.as_ref());
+        }
+    }
+
+    /// Shrink the *persistent* (sentinel-task) export records of `item` by
+    /// `region` at the owner — lifts the broadcast write fence for exactly
+    /// the invalidated part, leaving other persistent fences and all
+    /// transient (per-task) exports intact. The counterpart of
+    /// [`DataItemManager::drop_persistent_region`] on the owner side; the
+    /// two must be applied together or the fenced-writes invariant breaks.
+    pub fn release_persistent_exports(&mut self, item: ItemId, region: &dyn DynRegion) {
+        let slot = self.slot_mut(item);
+        let mut kept = Vec::with_capacity(slot.exports.len());
+        for (holder, task, r) in slot.exports.drain(..) {
+            if task == TaskId(u64::MAX) {
+                let rest = r.difference_dyn(region);
+                if !rest.is_empty_dyn() {
+                    kept.push((holder, task, rest));
+                }
+            } else {
+                kept.push((holder, task, r));
+            }
+        }
+        slot.exports = kept;
+    }
+
     /// Whether an outstanding export intersects `region`.
     pub fn exported(&self, item: ItemId, region: &dyn DynRegion) -> bool {
         let slot = self.slot(item);
@@ -457,6 +538,7 @@ impl DataItemManager {
             slot.exports.clear();
             slot.holds.clear();
             slot.persistent = (slot.desc.empty_region)();
+            slot.inbound.clear();
         }
     }
 
@@ -762,6 +844,51 @@ mod tests {
         assert!(holder.persistent_region(ItemId(0)).is_empty_dyn());
         assert!(!holder.covers(ItemId(0), &r2([0, 0], [2, 2])));
         assert!(holder.covers(ItemId(0), &r2([4, 0], [6, 2])), "owned data survives");
+    }
+
+    #[test]
+    fn region_precise_invalidation_lifts_fence_and_keeps_rest() {
+        let mut owner = mk();
+        let mut holder = {
+            let mut dim = DataItemManager::new(1);
+            dim.register(ItemId(0), ItemDescriptor::of::<G2>("grid"));
+            dim
+        };
+        owner.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        let bytes = owner.export_replica(ItemId(0), &r2([0, 0], [4, 4]), 1, TaskId(u64::MAX));
+        holder.import_persistent(ItemId(0), &bytes);
+        // A writer to any part is fenced while the broadcast stands.
+        let res = owner.try_lock(TaskId(1), &[Requirement::write(ItemId(0), r2([0, 0], [2, 4]))]);
+        assert_eq!(res, Err(LockConflict::Exported(ItemId(0))));
+        // Invalidate just the written half, on both sides.
+        owner.release_persistent_exports(ItemId(0), &r2([0, 0], [2, 4]));
+        holder.drop_persistent_region(ItemId(0), &r2([0, 0], [2, 4]));
+        // The writer now proceeds; the untouched half stays fenced and
+        // stays readable locally at the holder.
+        owner
+            .try_lock(TaskId(1), &[Requirement::write(ItemId(0), r2([0, 0], [2, 4]))])
+            .unwrap();
+        let res = owner.try_lock(TaskId(2), &[Requirement::write(ItemId(0), r2([2, 0], [4, 4]))]);
+        assert_eq!(res, Err(LockConflict::Exported(ItemId(0))));
+        assert!(holder.covers_stable(ItemId(0), &r2([2, 0], [4, 4])));
+        assert!(!holder.covers(ItemId(0), &r2([0, 0], [2, 4])));
+        // Fenced-writes invariant shape: holder persistent == owner fences.
+        assert!(holder
+            .persistent_region(ItemId(0))
+            .eq_dyn(owner.persistent_export_region(ItemId(0)).as_ref()));
+    }
+
+    #[test]
+    fn release_persistent_exports_spares_transient_exports() {
+        let mut owner = mk();
+        owner.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        let _ = owner.export_replica(ItemId(0), &r2([0, 0], [2, 2]), 1, TaskId(7));
+        let _ = owner.export_replica(ItemId(0), &r2([0, 0], [4, 4]), 2, TaskId(u64::MAX));
+        owner.release_persistent_exports(ItemId(0), &r2([0, 0], [4, 4]));
+        assert!(owner.persistent_export_region(ItemId(0)).is_empty_dyn());
+        // Task 7's transient export still fences its region.
+        assert!(owner.exported(ItemId(0), &r2([1, 1], [2, 2])));
+        assert!(!owner.exported(ItemId(0), &r2([2, 2], [4, 4])));
     }
 
     #[test]

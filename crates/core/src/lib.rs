@@ -28,6 +28,10 @@
 //!   every runtime payload with verify-on-receive and bounded
 //!   re-requests, checksummed checkpoint shards, and a background
 //!   replica scrubber with repair and quarantine;
+//! - [`slo`]: the request-serving subsystem — open-loop arrival processes
+//!   driving sharded request task trees, with an SLO controller that
+//!   replicates hot shards, retires cold replica sets and optionally
+//!   sheds read load at admission;
 //! - structured tracing (`allscale-trace`): setting [`RtConfig::trace`]
 //!   records task, data, index, network and resilience events;
 //!   [`RunReport::trace`](monitor::RunReport::trace) exports Chrome
@@ -81,6 +85,7 @@ pub mod rebalance;
 pub mod resilience;
 pub mod runtime;
 pub mod scheduler;
+pub mod slo;
 pub mod task;
 
 pub use cost::CostModel;
@@ -93,7 +98,7 @@ pub use facade::{
 pub use index::{CentralIndex, DistIndex};
 pub use integrity::{IntegrityConfig, IntegrityStats};
 pub use loc_cache::{CacheStats, LocationCache};
-pub use monitor::{LocalityStats, Monitor, RunReport, SchedulerStats};
+pub use monitor::{LocalityStats, Monitor, RunReport, SchedulerStats, ServeStats};
 pub use policy::{
     DataAwarePolicy, PolicyEnv, RandomPolicy, RoundRobinPolicy, SchedulingPolicy, Variant,
 };
@@ -103,6 +108,7 @@ pub use runtime::{AppDriver, Checkpoint, Locality, RtConfig, RtCtx, Runtime};
 pub use scheduler::{
     DataAwareScheduler, Placement, Scheduler, StealConfig, VictimPolicy, WorkStealingScheduler,
 };
+pub use slo::{Request, RequestFactory, ServeSpec, SloConfig};
 
 // Fault-injection types, re-exported so applications configuring
 // `RtConfig::faults` need not depend on `allscale-net` directly.

@@ -53,6 +53,59 @@ pub struct SchedulerStats {
     pub handoffs: u64,
 }
 
+/// Counters of the request-serving subsystem (open-loop load generator,
+/// sharded request execution, SLO controller). All zeros when the run
+/// served no requests. Recorded unconditionally, so traced and untraced
+/// runs agree.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests injected by the open-loop arrival process.
+    pub offered: u64,
+    /// Requests admitted (a root task was spawned).
+    pub admitted: u64,
+    /// Requests whose root task tree completed.
+    pub completed: u64,
+    /// Requests shed at admission by the overload controller.
+    pub shed: u64,
+    /// Read requests offered.
+    pub reads: u64,
+    /// Write requests offered.
+    pub writes: u64,
+    /// Shard-periods in which the controller observed p99 above the SLO.
+    pub slo_violations: u64,
+    /// Hot shards replicated to all localities by the controller.
+    pub replications: u64,
+    /// Cold shard replica sets retired by the controller.
+    pub retirements: u64,
+    /// Writes that invalidated replicated regions before executing.
+    pub invalidations: u64,
+    /// Virtual nanoseconds the serving phase lasted (arrival of the
+    /// first request to completion of the last).
+    pub serve_ns: u64,
+    /// End-to-end request latency (arrival to tree completion, ns).
+    pub latency: LogHistogram,
+    /// Per-shard end-to-end request latency (ns).
+    pub per_shard: Vec<LogHistogram>,
+}
+
+impl ServeStats {
+    /// Offered load in requests per virtual second (0 when nothing ran).
+    pub fn offered_rps(&self) -> f64 {
+        if self.serve_ns == 0 {
+            return 0.0;
+        }
+        self.offered as f64 / (self.serve_ns as f64 * 1e-9)
+    }
+
+    /// Achieved goodput in completed requests per virtual second.
+    pub fn completed_rps(&self) -> f64 {
+        if self.serve_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.serve_ns as f64 * 1e-9)
+    }
+}
+
 /// Cluster-wide monitoring state.
 #[derive(Debug, Clone, Default)]
 pub struct Monitor {
@@ -85,6 +138,9 @@ pub struct Monitor {
     /// including retry backoff. Recorded whether or not tracing is on —
     /// a traced and an untraced run report identical monitors.
     pub transfer_latency: LogHistogram,
+    /// Request-serving counters and latency distributions. All zeros
+    /// when the application never entered a serving phase.
+    pub serve: ServeStats,
 }
 
 impl Monitor {
@@ -281,6 +337,37 @@ impl RunReport {
                 g.quarantines,
             );
         }
+        let v = &self.monitor.serve;
+        if v.offered > 0 {
+            let _ = writeln!(
+                out,
+                "serving: {} offered ({:.0} rps) | {} admitted, {} shed | {} completed ({:.0} rps) | {} reads, {} writes",
+                v.offered,
+                v.offered_rps(),
+                v.admitted,
+                v.shed,
+                v.completed,
+                v.completed_rps(),
+                v.reads,
+                v.writes,
+            );
+            let _ = writeln!(
+                out,
+                "  slo: {} violating shard-periods | {} replications, {} retirements, {} write invalidations",
+                v.slo_violations,
+                v.replications,
+                v.retirements,
+                v.invalidations,
+            );
+            if v.latency.tally().count() > 0 {
+                let _ = writeln!(out, "  request latency (ns): {}", v.latency);
+            }
+            for (s, h) in v.per_shard.iter().enumerate() {
+                if h.tally().count() > 0 {
+                    let _ = writeln!(out, "    shard {s}: {h}");
+                }
+            }
+        }
         for (i, l) in self.monitor.per_locality.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -293,6 +380,148 @@ impl RunReport {
                 l.lock_conflicts,
             );
         }
+        out
+    }
+
+    /// Serialize the report as deterministic JSON (machine consumers:
+    /// benchmark emitters, conformance fingerprints). The trace is
+    /// deliberately excluded so a traced and an untraced run of the same
+    /// seed serialize identically; export traces separately via
+    /// [`Trace::to_chrome_json`]. Integer-only, fixed key order — two
+    /// reports are bit-identical iff their JSON strings are equal.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        fn hist(h: &LogHistogram) -> String {
+            let t = h.tally();
+            format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                t.count(),
+                t.sum(),
+                t.min().unwrap_or(0),
+                t.max().unwrap_or(0),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+            )
+        }
+        let m = &self.monitor;
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"finish_ns\":{},\"phases\":{},\"events\":{},\"remote_msgs\":{},\"remote_bytes\":{}",
+            self.finish_time.as_nanos(),
+            self.phases,
+            self.events,
+            self.remote_msgs,
+            self.remote_bytes,
+        );
+        let _ = write!(
+            out,
+            ",\"tasks\":{},\"splits\":{},\"msgs\":{},\"bytes\":{}",
+            m.total_tasks(),
+            m.per_locality.iter().map(|l| l.tasks_split).sum::<u64>(),
+            m.total_msgs(),
+            m.total_bytes(),
+        );
+        let _ = write!(
+            out,
+            ",\"index\":{{\"lookups\":{},\"lookup_hops\":{},\"update_hops\":{}}}",
+            m.index_lookups, m.index_lookup_hops, m.index_update_hops,
+        );
+        let _ = write!(out, ",\"localities\":[");
+        for (i, l) in m.per_locality.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tasks\":{},\"splits\":{},\"busy_ns\":{},\"msgs\":{},\"bytes\":{},\"replicas_in\":{},\"migrations_in\":{},\"first_touch\":{},\"lock_conflicts\":{}}}",
+                l.tasks_executed,
+                l.tasks_split,
+                l.busy_ns,
+                l.msgs_sent,
+                l.bytes_sent,
+                l.replicas_in,
+                l.migrations_in,
+                l.first_touch,
+                l.lock_conflicts,
+            );
+        }
+        out.push(']');
+        let s = &m.scheduler;
+        let _ = write!(
+            out,
+            ",\"scheduler\":{{\"queued\":{},\"steal_requests\":{},\"steal_grants\":{},\"steal_denies\":{},\"handoffs\":{}}}",
+            s.tasks_queued, s.steal_requests, s.steal_grants, s.steal_denies, s.handoffs,
+        );
+        let c = &m.cache;
+        let _ = write!(
+            out,
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"invalidations\":{},\"saved_hops\":{}}}",
+            c.hits, c.misses, c.invalidations, c.saved_hops,
+        );
+        let r = &m.resilience;
+        let _ = write!(
+            out,
+            ",\"resilience\":{{\"checkpoints\":{},\"checkpoint_bytes\":{},\"recoveries\":{},\"restored_bytes\":{},\"tasks_reexecuted\":{},\"net_dropped\":{},\"net_retries\":{},\"failed_transfers\":{}}}",
+            r.checkpoints,
+            r.checkpoint_bytes,
+            r.recoveries,
+            r.restored_bytes,
+            r.tasks_reexecuted,
+            r.net_dropped,
+            r.net_retries,
+            r.failed_transfers,
+        );
+        let g = &m.integrity;
+        let _ = write!(
+            out,
+            ",\"integrity\":{{\"wire_corruptions\":{},\"wire_detected\":{},\"wire_undetected\":{},\"re_requests\":{},\"rot_injected\":{},\"scrub_passes\":{},\"scrub_repairs\":{},\"quarantines\":{}}}",
+            g.wire_corruptions,
+            g.wire_detected,
+            g.wire_undetected,
+            g.re_requests,
+            g.rot_injected,
+            g.scrub_passes,
+            g.scrub_repairs,
+            g.quarantines,
+        );
+        let t = &self.traffic;
+        let _ = write!(
+            out,
+            ",\"traffic\":{{\"dropped\":{},\"delayed\":{},\"retries\":{},\"undeliverable\":{},\"batches\":{},\"batched_msgs\":{},\"batched_bytes\":{}}}",
+            t.dropped, t.delayed, t.retries, t.undeliverable, t.batches, t.batched_msgs, t.batched_bytes,
+        );
+        let _ = write!(
+            out,
+            ",\"task_durations\":{},\"transfer_latency\":{}",
+            hist(&m.task_durations),
+            hist(&m.transfer_latency),
+        );
+        let v = &m.serve;
+        let _ = write!(
+            out,
+            ",\"serve\":{{\"offered\":{},\"admitted\":{},\"completed\":{},\"shed\":{},\"reads\":{},\"writes\":{},\"slo_violations\":{},\"replications\":{},\"retirements\":{},\"invalidations\":{},\"serve_ns\":{},\"latency\":{},\"per_shard\":[",
+            v.offered,
+            v.admitted,
+            v.completed,
+            v.shed,
+            v.reads,
+            v.writes,
+            v.slo_violations,
+            v.replications,
+            v.retirements,
+            v.invalidations,
+            v.serve_ns,
+            hist(&v.latency),
+        );
+        for (i, h) in v.per_shard.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&hist(h));
+        }
+        out.push_str("]}}");
         out
     }
 }

@@ -28,7 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use allscale_des::{CorePool, Sim, SimDuration, SimTime};
+use allscale_des::{CorePool, LogHistogram, Sim, SimDuration, SimTime};
 use allscale_net::{
     frame, AnyTopology, Batch, BatchParams, ClusterSpec, Coalescer, Delivered, Enqueue, FaultPlan,
     Network, RetryPolicy,
@@ -50,6 +50,7 @@ use crate::resilience::{ResilienceConfig, ResilienceManager, SavedCheckpoint};
 use crate::scheduler::{
     DataAwareScheduler, Placement, Scheduler, StealConfig, WorkStealingScheduler,
 };
+use crate::slo::{PendingReq, ServeSession, ServeSpec};
 use crate::task::{
     AccessMode, Done, ItemId, Requirement, SplitOutcome, TaskCtx, TaskId, TaskValue, WorkItem,
 };
@@ -273,6 +274,11 @@ pub struct RtWorld {
     coalescer: Coalescer<PendingMsg>,
     /// Monotonic id stamped on each batch flush (trace correlation).
     next_batch: u64,
+    /// A serving phase registered by the driver via [`RtCtx::serve`],
+    /// consumed at the next phase boundary.
+    pending_serve: Option<ServeSpec>,
+    /// The live serving phase, if one is running.
+    serving: Option<ServeSession>,
 }
 
 type RtSim = Sim<RtWorld>;
@@ -401,6 +407,29 @@ impl RtCtx<'_> {
             self.world.localities[dst].dim.import_persistent(item, &data);
             self.world.monitor.per_locality[dst].replicas_in += 1;
         }
+    }
+
+    /// Register a request-serving phase: the runtime runs it *as* the
+    /// next phase. Call from a driver phase that returns `None`; instead
+    /// of finishing the application, the runtime injects `spec`'s
+    /// open-loop arrival stream on the virtual clock, runs each admitted
+    /// request's task tree through the normal scheduler, drives the SLO
+    /// controller on its control period, and only then asks the driver
+    /// for the phase after.
+    ///
+    /// Deterministic replay after a recovery relies on the driver
+    /// re-registering an identical spec when re-asked for the same
+    /// phase: the arrival process and the factory are reseeded, so the
+    /// restored boundary replays the exact request stream.
+    ///
+    /// # Panics
+    /// Panics if a serving phase is already registered.
+    pub fn serve(&mut self, spec: ServeSpec) {
+        assert!(
+            self.world.pending_serve.is_none(),
+            "one serving phase may be registered per boundary"
+        );
+        self.world.pending_serve = Some(spec);
     }
 
     /// Migrate ownership of `region` of `item` from `from` to `to`
@@ -711,6 +740,8 @@ impl Runtime {
             batching,
             coalescer: Coalescer::new(batching.unwrap_or_default()),
             next_batch: 0,
+            pending_serve: None,
+            serving: None,
         };
         let sim = Sim::new(world);
         Runtime { sim }
@@ -1363,8 +1394,23 @@ fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
             assign_task(sim, home, root, None);
         }
         None => {
-            sim.world.done = true;
-            sim.world.finish_time = sim.now();
+            if let Some(spec) = sim.world.pending_serve.take() {
+                // The driver registered a serving phase instead of a
+                // root work item: run it as this phase.
+                trace_instant(
+                    &sim.world,
+                    now,
+                    home,
+                    EventKind::PhaseBegin {
+                        phase: phase as u32,
+                    },
+                );
+                sim.world.phase += 1;
+                start_serving(sim, spec);
+            } else {
+                sim.world.done = true;
+                sim.world.finish_time = sim.now();
+            }
         }
     }
 }
@@ -1425,6 +1471,373 @@ fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
         .as_mut()
         .expect("resilience enabled")
         .save(phase, snap, sums, tasks_done);
+}
+
+// ------------------------------------------------------------------ serving
+
+/// Begin the serving phase registered by the driver: install the session
+/// and schedule the first open-loop arrival and the first controller
+/// tick. Both chains are epoch-guarded, so a recovery mid-phase disarms
+/// them wholesale and the replayed driver restarts the stream.
+fn start_serving(sim: &mut RtSim, spec: ServeSpec) {
+    let now = sim.now();
+    let shards = spec.shard_regions.len();
+    let mut session = ServeSession::new(spec, now);
+    // Replays accumulate into the same per-shard histograms (like
+    // `tasks_reexecuted`); only (re)size them on shard-count change.
+    if sim.world.monitor.serve.per_shard.len() != shards {
+        sim.world.monitor.serve.per_shard = vec![LogHistogram::new(); shards];
+    }
+    let first = session.gen.next_gap();
+    let period = session.slo.control_period;
+    sim.world.serving = Some(session);
+    schedule_task_event(sim, now + first, serve_arrival);
+    schedule_task_event(sim, now + period, slo_tick);
+}
+
+/// One open-loop arrival: build the request, admit or shed it, and
+/// schedule the next arrival — on the virtual clock, independent of any
+/// completion. This independence is what makes saturation observable:
+/// past the capacity knee, in-flight requests pile up and tail latency
+/// diverges instead of the arrival rate slowing down.
+fn serve_arrival(sim: &mut RtSim) {
+    let now = sim.now();
+    let Some(mut session) = sim.world.serving.take() else {
+        return;
+    };
+    let req = session.next_req;
+    session.next_req += 1;
+    let request = session.factory.make(req);
+    let shard = request.shard;
+    assert!(
+        shard < session.shard_regions.len(),
+        "request factory produced shard {shard} of {}",
+        session.shard_regions.len()
+    );
+    let nodes = sim.world.localities.len();
+    // Frontends take turns admitting requests (a round-robin load
+    // balancer in front of the cluster), skipping dead localities.
+    let frontend = live_target(&sim.world, (req % nodes as u64) as usize);
+    {
+        let m = &mut sim.world.monitor.serve;
+        m.offered += 1;
+        if request.write {
+            m.writes += 1;
+        } else {
+            m.reads += 1;
+        }
+    }
+    trace_instant(
+        &sim.world,
+        now,
+        frontend,
+        EventKind::RequestArrival {
+            req,
+            shard: shard as u32,
+            write: request.write,
+        },
+    );
+    if !request.write && session.slo.shed_overload && session.shedding[shard] {
+        // Load shedding applies to reads only — a shed write would be a
+        // lost acknowledged update.
+        sim.world.monitor.serve.shed += 1;
+        trace_instant(
+            &sim.world,
+            now,
+            frontend,
+            EventKind::RequestShed {
+                req,
+                shard: shard as u32,
+            },
+        );
+    } else {
+        if request.write && session.replicated[shard] {
+            // A write to a replicated shard first invalidates the
+            // written region everywhere, lifting the broadcast's write
+            // fences region-precisely; untouched replicas keep serving
+            // reads.
+            let mut any = false;
+            for r in request.work.requirements() {
+                if r.mode == AccessMode::Write {
+                    any |= invalidate_persistent(sim, r.item, r.region.as_ref());
+                }
+            }
+            if any {
+                sim.world.monitor.serve.invalidations += 1;
+                session.eroded[shard] = true;
+            }
+        }
+        sim.world.monitor.serve.admitted += 1;
+        let tid = assign_task(sim, frontend, request.work, None);
+        trace_instant(
+            &sim.world,
+            now,
+            frontend,
+            EventKind::RequestAdmit { req, task: tid.0 },
+        );
+        session.roots.insert(
+            tid,
+            PendingReq {
+                req,
+                shard,
+                write: request.write,
+                arrival: now,
+                frontend,
+            },
+        );
+    }
+    if session.next_req < session.max_requests {
+        let gap = session.gen.next_gap();
+        sim.world.serving = Some(session);
+        schedule_task_event(sim, now + gap, serve_arrival);
+    } else {
+        session.arrivals_done = true;
+        sim.world.serving = Some(session);
+        maybe_finish_serving(sim);
+    }
+}
+
+/// Release the persistent export fences overlapping `region` of `item`
+/// at every live exporter and drop the matching persistent replicas at
+/// every live holder, each notified by a billed control message (the
+/// invalidation fan-out). Returns whether any replica state was touched.
+/// Like driver-initiated migration, the bookkeeping is synchronous and
+/// the messages only bill the traffic.
+fn invalidate_persistent(sim: &mut RtSim, item: ItemId, region: &dyn DynRegion) -> bool {
+    let now = sim.now();
+    let nodes = sim.world.localities.len();
+    let mut any = false;
+    for p in 0..nodes {
+        if sim.world.dead[p] {
+            continue;
+        }
+        let overlap = {
+            let dim = &sim.world.localities[p].dim;
+            dim.persistent_export_region(item).intersect_dyn(region)
+        };
+        if overlap.is_empty_dyn() {
+            continue;
+        }
+        any = true;
+        sim.world.localities[p]
+            .dim
+            .release_persistent_exports(item, overlap.as_ref());
+        for q in 0..nodes {
+            if q == p || sim.world.dead[q] {
+                continue;
+            }
+            sim.world.localities[q]
+                .dim
+                .drop_persistent_region(item, overlap.as_ref());
+            let bytes = sim.world.cost.control_msg_bytes;
+            let tag = Payload::data(TransferPurpose::Control, None, item);
+            let _ = send_msg(&mut sim.world, now, p, q, bytes, tag, false);
+        }
+    }
+    any
+}
+
+/// Lock-time write invalidation: a task writing the served item that
+/// finds part of its region behind a broadcast write fence invalidates
+/// the fenced part everywhere instead of parking forever. The fence may
+/// postdate the request's admission — the SLO controller broadcasts a
+/// hot shard while earlier writes are still queued, and admission-time
+/// invalidation only lifts fences that already exist. Returns whether
+/// any fence was lifted (the caller then retries lock acquisition).
+fn unfence_serving_writes(sim: &mut RtSim, tid: TaskId) -> bool {
+    let Some(item) = sim.world.serving.as_ref().map(|s| s.item) else {
+        return false;
+    };
+    let writes: Vec<Box<dyn DynRegion>> = sim.world.inflight[&tid]
+        .reqs
+        .iter()
+        .filter(|r| r.item == item && r.mode == AccessMode::Write)
+        .map(|r| r.region.clone_box())
+        .collect();
+    let mut any = false;
+    for region in &writes {
+        any |= invalidate_persistent(sim, item, region.as_ref());
+    }
+    if any {
+        sim.world.monitor.serve.invalidations += 1;
+        if let Some(session) = sim.world.serving.as_mut() {
+            for s in 0..session.shard_regions.len() {
+                if session.replicated[s]
+                    && writes.iter().any(|w| {
+                        !session.shard_regions[s]
+                            .intersect_dyn(w.as_ref())
+                            .is_empty_dyn()
+                    })
+                {
+                    session.eroded[s] = true;
+                }
+            }
+        }
+    }
+    any
+}
+
+/// Account a completed request root: record its end-to-end latency,
+/// emit the request span, and wind the phase down once the stream is
+/// drained. Returns false when `tid` is not a serving request (the
+/// caller then treats it as a phase root).
+fn serve_root_done(sim: &mut RtSim, tid: TaskId) -> bool {
+    let now = sim.now();
+    let pending = match sim.world.serving.as_mut() {
+        Some(s) => s.roots.remove(&tid),
+        None => return false,
+    };
+    let Some(p) = pending else {
+        return false;
+    };
+    let lat = (now - p.arrival).as_nanos();
+    if let Some(s) = sim.world.serving.as_mut() {
+        s.window[p.shard].record(lat);
+    }
+    let m = &mut sim.world.monitor.serve;
+    m.completed += 1;
+    m.latency.record(lat);
+    m.per_shard[p.shard].record(lat);
+    let epoch = sim.world.run_epoch;
+    sim.world.trace.record(|| {
+        TraceEvent::span(
+            p.arrival.as_nanos(),
+            lat,
+            p.frontend as u32,
+            EventKind::Request {
+                req: p.req,
+                shard: p.shard as u32,
+                write: p.write,
+            },
+        )
+        .in_epoch(epoch)
+    });
+    maybe_finish_serving(sim);
+    true
+}
+
+/// End the serving phase once all arrivals are injected and all admitted
+/// trees completed, then hand control back to the phase driver.
+fn maybe_finish_serving(sim: &mut RtSim) {
+    if !sim.world.serving.as_ref().is_some_and(|s| s.finished()) {
+        return;
+    }
+    let session = sim.world.serving.take().expect("serving session");
+    let now = sim.now();
+    // Accumulates across a mid-phase recovery's replay, like the other
+    // re-execution counters — deterministic either way.
+    sim.world.monitor.serve.serve_ns += (now - session.started).as_nanos();
+    advance_phase(sim, None);
+}
+
+/// One SLO controller round: every live locality reports its shard
+/// latency windows to the controller host (billed control messages), and
+/// the controller acts on each shard — replicating hot ones, arming read
+/// shedding, retiring replica sets that stayed cold — then rearms.
+fn slo_tick(sim: &mut RtSim) {
+    if sim.world.serving.is_none() {
+        return; // phase over: stop rearming, let the queue drain
+    }
+    let now = sim.now();
+    let host = detector_host(&sim.world);
+    let nodes = sim.world.localities.len();
+    for p in 0..nodes {
+        if p == host || sim.world.dead[p] {
+            continue;
+        }
+        let bytes = sim.world.cost.control_msg_bytes;
+        let tag = Payload {
+            purpose: TransferPurpose::Control,
+            task: None,
+            item: None,
+        };
+        let _ = send_msg(&mut sim.world, now, p, host, bytes, tag, false);
+    }
+    let mut session = sim.world.serving.take().expect("serving session");
+    let shards = session.shard_regions.len();
+    for s in 0..shards {
+        let count = session.window[s].tally().count();
+        let p99 = session.window[s].p99();
+        // Small windows are too noisy to act on (a single straggler
+        // would trigger a broadcast).
+        let hot = count >= session.slo.min_window && p99 > session.slo.p99_slo_ns;
+        if hot {
+            sim.world.monitor.serve.slo_violations += 1;
+        }
+        session.shedding[s] = hot && session.slo.shed_overload;
+        if hot
+            && session.slo.replicate_hot
+            && (!session.replicated[s] || session.eroded[s])
+        {
+            replicate_shard(sim, &session, s, p99);
+            session.replicated[s] = true;
+            session.eroded[s] = false;
+            session.cold_streak[s] = 0;
+        } else if session.replicated[s] {
+            if count <= session.slo.cold_window {
+                session.cold_streak[s] += 1;
+            } else {
+                session.cold_streak[s] = 0;
+            }
+            if session.slo.retire_cold && session.cold_streak[s] >= session.slo.cold_periods {
+                retire_shard(sim, &session, s);
+                session.replicated[s] = false;
+                session.eroded[s] = false;
+                session.cold_streak[s] = 0;
+            }
+        }
+        session.window[s] = LogHistogram::new();
+    }
+    let period = session.slo.control_period;
+    sim.world.serving = Some(session);
+    schedule_task_event(sim, now + period, slo_tick);
+}
+
+/// Broadcast-replicate a hot shard from its owner to every live
+/// locality: reads then run node-locally at whichever frontend admitted
+/// them, which is what relieves the owner past the saturation knee.
+fn replicate_shard(sim: &mut RtSim, session: &ServeSession, s: usize, p99: u64) {
+    let now = sim.now();
+    let item = session.item;
+    let region = session.shard_regions[s].as_ref();
+    let nodes = sim.world.localities.len();
+    // The broadcast exports from the shard's single owner; under the
+    // ring-successor graft ownership stays whole, but a shard somehow
+    // fragmented across owners is simply skipped this round.
+    let owner = (0..nodes).find(|&p| {
+        !sim.world.dead[p]
+            && region
+                .difference_dyn(sim.world.localities[p].dim.owned_region(item).as_ref())
+                .is_empty_dyn()
+    });
+    let Some(owner) = owner else {
+        return;
+    };
+    let mut ctx = RtCtx {
+        world: &mut sim.world,
+        now,
+    };
+    ctx.broadcast_replicate(item, owner, region);
+    sim.world.monitor.serve.replications += 1;
+    trace_instant(
+        &sim.world,
+        now,
+        owner,
+        EventKind::SloReplicate {
+            shard: s as u32,
+            p99_ns: p99,
+        },
+    );
+}
+
+/// Retire a cold shard's replica set: the broadcast's write fences lift
+/// and every holder drops its replica, freeing writers and memory.
+fn retire_shard(sim: &mut RtSim, session: &ServeSession, s: usize) {
+    let now = sim.now();
+    invalidate_persistent(sim, session.item, session.shard_regions[s].as_ref());
+    sim.world.monitor.serve.retirements += 1;
+    let host = detector_host(&sim.world);
+    trace_instant(&sim.world, now, host, EventKind::SloRetire { shard: s as u32 });
 }
 
 /// One round of the failure detector: the host locality (the lowest
@@ -1770,6 +2183,13 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
     // Queued tasks and steal/wait state belong to the abandoned phase
     // too — stale grants and denies are disarmed by the epoch bump.
     w.scheduler.clear();
+    // An in-flight serving phase is abandoned wholesale (its arrivals,
+    // completions and controller ticks are epoch-disarmed). The replayed
+    // driver re-registers the spec with the same seeds, so the identical
+    // request stream replays from the restored boundary — acknowledged
+    // writes are re-applied, none are lost.
+    w.serving = None;
+    w.pending_serve = None;
     for l in w.localities.iter_mut() {
         l.load = 0;
     }
@@ -1847,8 +2267,14 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
 
 // -------------------------------------------------------------- Algorithm 2
 
-/// Assign a task to a node (paper Algorithm 2).
-fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option<(TaskId, usize)>) {
+/// Assign a task to a node (paper Algorithm 2); returns the new task's
+/// id (the serving subsystem keys in-flight requests by it).
+fn assign_task(
+    sim: &mut RtSim,
+    at: usize,
+    wi: Box<dyn WorkItem>,
+    parent: Option<(TaskId, usize)>,
+) -> TaskId {
     let tid = TaskId(sim.world.next_task);
     sim.world.next_task += 1;
 
@@ -1967,6 +2393,7 @@ fn assign_task(sim: &mut RtSim, at: usize, wi: Box<dyn WorkItem>, parent: Option
             }
         }
     }
+    tid
 }
 
 /// Algorithm 2 lines 4-13: find the execution locality for a process task.
@@ -2285,6 +2712,9 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
         let inf = sim.world.inflight.get_mut(&tid).unwrap();
         let dim = &mut sim.world.localities[loc].dim;
         if dim.try_lock(tid, &inf.reqs).is_err() {
+            if unfence_serving_writes(sim, tid) {
+                return prepare_task(sim, tid);
+            }
             sim.world.monitor.per_locality[loc].lock_conflicts += 1;
             sim.world.parked.push(tid);
             trace_instant(&sim.world, now, loc, EventKind::TaskParked { task: tid.0 });
@@ -2298,6 +2728,9 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
         Ok(plan) => plan,
         Err(()) => {
             sim.world.localities[loc].dim.unlock_all(tid);
+            if unfence_serving_writes(sim, tid) {
+                return prepare_task(sim, tid);
+            }
             sim.world.monitor.per_locality[loc].lock_conflicts += 1;
             sim.world.parked.push(tid);
             trace_instant(&sim.world, now, loc, EventKind::TaskParked { task: tid.0 });
@@ -2343,6 +2776,26 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                 let src_owned = sim.world.localities[src].dim.owned_region(item);
                 let hops = index_update(&mut sim.world, now, item, src, src_owned);
                 bill_hops(&mut sim.world, now, &hops, Some(item));
+                // Advertise the destination in the index immediately and
+                // fence the region as in-flight. Between the source
+                // giving the region up and the transfer landing, the
+                // region must still resolve to *someone* — a planner
+                // finding no owner would first-touch a second primary
+                // into existence (and a later migration would serve its
+                // default-initialized copy, silently dropping every
+                // write committed to the real one). The fence makes the
+                // advertised owner refuse to serve the region until the
+                // data actually arrives.
+                let fence_region = region.clone_box();
+                sim.world.localities[loc]
+                    .dim
+                    .fence_inbound(item, tid, region.as_ref());
+                let dst_adv = sim.world.localities[loc]
+                    .dim
+                    .owned_region(item)
+                    .union_dyn(region.as_ref());
+                let hops = index_update(&mut sim.world, now, item, loc, dst_adv);
+                bill_hops(&mut sim.world, now, &hops, Some(item));
                 let ctrl = sim.world.cost.control_msg_bytes;
                 let req_tag = Payload::data(TransferPurpose::Control, Some(tid), item);
                 send_deferred(sim, loc, src, ctrl, req_tag, move |sim, arr| {
@@ -2358,6 +2811,9 @@ fn prepare_task(sim: &mut RtSim, tid: TaskId) {
                         let data = open_payload(&mut sim.world, &bytes, d.intact);
                         let loc2 = sim.world.inflight[&tid].loc;
                         sim.world.localities[loc2].dim.import_owned(item, &data);
+                        sim.world.localities[loc]
+                            .dim
+                            .release_inbound(item, tid, fence_region.as_ref());
                         let owned = sim.world.localities[loc2].dim.owned_region(item);
                         let t = sim.now();
                         let hops = index_update(&mut sim.world, t, item, loc2, owned);
@@ -2451,6 +2907,12 @@ fn plan_transfers(
                 if missing.is_empty_dyn() {
                     continue;
                 }
+                // Another task's migration is already landing this data
+                // here: park until the fence lifts, never plan against
+                // (or first-touch over) data still on the wire.
+                if w.localities[loc].dim.inbound_fenced(item, missing.as_ref()) {
+                    return Err(());
+                }
                 let (pieces, _hops) = index_resolve(w, now, item, loc, missing.as_ref());
                 let mut found: Option<Box<dyn DynRegion>> = None;
                 for (piece, src) in pieces {
@@ -2462,10 +2924,12 @@ fn plan_transfers(
                         });
                         continue;
                     }
-                    // Migration requires an unfenced source.
+                    // Migration requires an unfenced source that actually
+                    // holds the data (not one still awaiting it).
                     let sdim = &w.localities[src].dim;
                     if sdim.locked_any(item, piece.as_ref())
                         || sdim.exported(item, piece.as_ref())
+                        || sdim.inbound_fenced(item, piece.as_ref())
                     {
                         return Err(());
                     }
@@ -2496,6 +2960,11 @@ fn plan_transfers(
                 if missing.is_empty_dyn() {
                     continue;
                 }
+                // Data migrating here is still on the wire: park until
+                // it lands rather than replicate a stale copy.
+                if w.localities[loc].dim.inbound_fenced(item, missing.as_ref()) {
+                    return Err(());
+                }
                 let (pieces, _hops) = index_resolve(w, now, item, loc, missing.as_ref());
                 let mut found: Option<Box<dyn DynRegion>> = None;
                 for (piece, src) in pieces {
@@ -2506,8 +2975,12 @@ fn plan_transfers(
                         });
                         continue;
                     }
-                    // Replication requires a write-unlocked source.
-                    if w.localities[src].dim.write_locked(item, piece.as_ref()) {
+                    // Replication requires a write-unlocked source that
+                    // actually holds the data (not one still awaiting an
+                    // inbound migration).
+                    if w.localities[src].dim.write_locked(item, piece.as_ref())
+                        || w.localities[src].dim.inbound_fenced(item, piece.as_ref())
+                    {
                         return Err(());
                     }
                     found = Some(match found {
@@ -2735,7 +3208,10 @@ fn finish_task(
             }
         }
         None => {
-            // Root of a phase: advance the application.
+            // Root of a serving request, or root of a phase.
+            if serve_root_done(sim, tid) {
+                return;
+            }
             advance_phase(sim, value);
         }
     }
@@ -2791,7 +3267,12 @@ fn child_done(sim: &mut RtSim, ptid: TaskId, idx: usize, value: TaskValue) {
                 child_done(sim, gp, gidx, combined);
             }
         }
-        None => advance_phase(sim, combined),
+        None => {
+            if serve_root_done(sim, ptid) {
+                return;
+            }
+            advance_phase(sim, combined);
+        }
     }
 }
 

@@ -30,6 +30,8 @@
 
 use std::collections::VecDeque;
 
+use allscale_des::rng::XorShift64;
+
 use crate::policy::{PolicyEnv, SchedulingPolicy, Variant};
 use crate::task::TaskId;
 
@@ -290,8 +292,8 @@ pub struct WorkStealingScheduler {
     waiters: VecDeque<usize>,
     /// Per-thief ring cursor of the round-robin victim scan.
     cursors: Vec<usize>,
-    /// xorshift64 state of the random victim draw (never zero).
-    rng: u64,
+    /// Seeded generator of the random victim draw.
+    rng: XorShift64,
 }
 
 impl WorkStealingScheduler {
@@ -311,17 +313,8 @@ impl WorkStealingScheduler {
             locs: (0..nodes).map(|_| LocState::new()).collect(),
             waiters: VecDeque::new(),
             cursors: vec![0; nodes],
-            rng: cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            rng: XorShift64::new(cfg.seed),
         }
-    }
-
-    fn next_rand(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
-        x
     }
 
     fn drop_waiter(&mut self, loc: usize) {
@@ -439,7 +432,7 @@ impl Scheduler for WorkStealingScheduler {
                 if candidates.is_empty() {
                     return None;
                 }
-                let i = (self.next_rand() % candidates.len() as u64) as usize;
+                let i = self.rng.below(candidates.len() as u64) as usize;
                 Some(candidates[i])
             }
         }

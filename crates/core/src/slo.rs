@@ -1,0 +1,263 @@
+//! The request-serving subsystem: open-loop workloads, per-shard
+//! latency SLOs and the placement controller that enforces them.
+//!
+//! The paper's runtime targets batch-parallel phases, but its machinery
+//! — distributed data items, replicate/broadcast transfers, the cost
+//! model, monitoring — is exactly what an online request-serving tier
+//! needs. This module adds the missing piece: an application registers a
+//! [`ServeSpec`] (an arrival process plus a factory turning request
+//! numbers into small task trees over a sharded data item), and the
+//! runtime drives an *open-loop* serving phase on the virtual clock.
+//! Requests arrive whether or not earlier ones finished, which is what
+//! makes saturation observable: once offered load exceeds capacity,
+//! queues grow and tail latency diverges instead of the arrival rate
+//! politely slowing down.
+//!
+//! A periodic controller watches per-shard latency histograms. When a
+//! shard's p99 over the last control period exceeds the SLO it
+//! replicates the shard to every locality (reads then run node-locally
+//! at whichever frontend admitted them), and optionally sheds read load
+//! at admission while the shard remains hot. Replicas that stay cold
+//! for several consecutive periods are retired. Writes are never shed;
+//! a write to a replicated shard first invalidates the written region
+//! everywhere so the single-writer discipline of the data-item manager
+//! is preserved.
+
+use std::collections::BTreeMap;
+
+use allscale_des::{ArrivalGen, ArrivalProcess, LogHistogram, SimDuration, SimTime};
+
+use crate::dynamic::DynRegion;
+use crate::task::{ItemId, TaskId, WorkItem};
+
+/// The service-level objective and controller policy of a serving phase.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// The latency objective: per-shard p99 over a control period must
+    /// stay at or below this many nanoseconds.
+    pub p99_slo_ns: u64,
+    /// How often the controller wakes up to examine shard histograms.
+    pub control_period: SimDuration,
+    /// Replicate shards whose p99 violates the SLO to all localities.
+    pub replicate_hot: bool,
+    /// Retire replica sets of shards that stayed cold for
+    /// [`SloConfig::cold_periods`] consecutive periods.
+    pub retire_cold: bool,
+    /// Shed read requests to shards that are currently violating the
+    /// SLO (writes are never shed).
+    pub shed_overload: bool,
+    /// Minimum completed requests in a window before its p99 is
+    /// trusted; smaller windows are ignored (too noisy to act on).
+    pub min_window: u64,
+    /// A replicated shard with at most this many completions in a
+    /// period counts as cold.
+    pub cold_window: u64,
+    /// Consecutive cold periods before a replica set is retired.
+    pub cold_periods: u32,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            p99_slo_ns: 200_000,
+            control_period: SimDuration::from_millis(2),
+            replicate_hot: true,
+            retire_cold: true,
+            shed_overload: false,
+            min_window: 16,
+            cold_window: 2,
+            cold_periods: 4,
+        }
+    }
+}
+
+impl SloConfig {
+    /// A static-placement baseline: the controller observes (histograms
+    /// and violation counters still fill in) but never acts.
+    pub fn observe_only(mut self) -> Self {
+        self.replicate_hot = false;
+        self.retire_cold = false;
+        self.shed_overload = false;
+        self
+    }
+}
+
+/// One request produced by a [`RequestFactory`]: which shard it targets,
+/// whether it writes, and the root work item of its task tree.
+pub struct Request {
+    /// Index into [`ServeSpec::shard_regions`] of the shard this
+    /// request primarily touches (the controller's accounting key).
+    pub shard: usize,
+    /// Whether the request updates the data item. Writes are never shed
+    /// and invalidate replicated regions at admission.
+    pub write: bool,
+    /// The root work item; its task tree carries the actual data
+    /// requirements.
+    pub work: Box<dyn WorkItem>,
+}
+
+/// Turns a request sequence number into a [`Request`]. Implemented for
+/// any `FnMut(u64) -> Request` closure; factories must be deterministic
+/// functions of the sequence number and their own seeded state so a
+/// replayed serving phase regenerates the identical request stream.
+pub trait RequestFactory {
+    /// Build request number `req` (0-based, dense).
+    fn make(&mut self, req: u64) -> Request;
+}
+
+impl<F: FnMut(u64) -> Request> RequestFactory for F {
+    fn make(&mut self, req: u64) -> Request {
+        self(req)
+    }
+}
+
+/// A serving phase, registered by the application driver via
+/// `RtCtx::serve`. The runtime runs it as the next phase: open-loop
+/// arrivals on the virtual clock, request task trees through the normal
+/// scheduler, and the SLO controller on its control period.
+pub struct ServeSpec {
+    /// The sharded data item requests operate on.
+    pub item: ItemId,
+    /// The region of each shard, indexed by shard id. Used by the
+    /// controller to replicate, invalidate and retire whole shards.
+    pub shard_regions: Vec<Box<dyn DynRegion>>,
+    /// The open-loop arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Total requests to inject before the phase winds down.
+    pub max_requests: u64,
+    /// SLO and controller policy.
+    pub slo: SloConfig,
+    /// The request factory.
+    pub factory: Box<dyn RequestFactory>,
+}
+
+/// A request admitted but not yet completed (its root task is in
+/// flight).
+pub(crate) struct PendingReq {
+    /// Request sequence number.
+    pub req: u64,
+    /// Target shard.
+    pub shard: usize,
+    /// Write request?
+    pub write: bool,
+    /// Virtual arrival time (latency is measured from here).
+    pub arrival: SimTime,
+    /// The locality that admitted it (span attribution).
+    pub frontend: usize,
+}
+
+/// Live state of the serving phase inside the runtime world.
+pub(crate) struct ServeSession {
+    /// The sharded item.
+    pub item: ItemId,
+    /// Shard regions (indexed by shard id).
+    pub shard_regions: Vec<Box<dyn DynRegion>>,
+    /// SLO and controller policy.
+    pub slo: SloConfig,
+    /// Request factory.
+    pub factory: Box<dyn RequestFactory>,
+    /// Arrival-gap generator.
+    pub gen: ArrivalGen,
+    /// Total requests to inject.
+    pub max_requests: u64,
+    /// Next request sequence number.
+    pub next_req: u64,
+    /// Virtual time the phase started.
+    pub started: SimTime,
+    /// In-flight request roots, keyed by root task id.
+    pub roots: BTreeMap<TaskId, PendingReq>,
+    /// Whether all arrivals have been injected.
+    pub arrivals_done: bool,
+    /// Per-shard latency window of the current control period.
+    pub window: Vec<LogHistogram>,
+    /// Which shards are currently replicated everywhere.
+    pub replicated: Vec<bool>,
+    /// Replicated shards whose replicas were partially invalidated by a
+    /// write since the last broadcast (re-replicated if still hot).
+    pub eroded: Vec<bool>,
+    /// Which shards currently shed read load at admission.
+    pub shedding: Vec<bool>,
+    /// Consecutive cold periods per replicated shard.
+    pub cold_streak: Vec<u32>,
+}
+
+impl ServeSession {
+    /// Build the session for `spec`, starting at virtual time `now`.
+    pub(crate) fn new(spec: ServeSpec, now: SimTime) -> Self {
+        let shards = spec.shard_regions.len();
+        assert!(shards > 0, "a serving phase needs at least one shard");
+        assert!(spec.max_requests > 0, "a serving phase needs requests");
+        ServeSession {
+            item: spec.item,
+            shard_regions: spec.shard_regions,
+            slo: spec.slo,
+            factory: spec.factory,
+            gen: ArrivalGen::new(spec.arrivals),
+            max_requests: spec.max_requests,
+            next_req: 0,
+            started: now,
+            roots: BTreeMap::new(),
+            arrivals_done: false,
+            window: vec![LogHistogram::new(); shards],
+            replicated: vec![false; shards],
+            eroded: vec![false; shards],
+            shedding: vec![false; shards],
+            cold_streak: vec![0; shards],
+        }
+    }
+
+    /// All arrivals injected and all admitted trees completed?
+    pub(crate) fn finished(&self) -> bool {
+        self.arrivals_done && self.roots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::task::{Done, Requirement, SplitOutcome, TaskCtx};
+
+    struct Nop;
+    impl WorkItem for Nop {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn depth(&self) -> u32 {
+            0
+        }
+        fn can_split(&self) -> bool {
+            false
+        }
+        fn requirements(&self) -> Vec<Requirement> {
+            Vec::new()
+        }
+        fn cost(&self, _cost: &CostModel, _locality: usize) -> SimDuration {
+            SimDuration::ZERO
+        }
+        fn process(self: Box<Self>, _ctx: &mut TaskCtx<'_>) -> Done {
+            Done::Value(None)
+        }
+        fn split(self: Box<Self>) -> SplitOutcome {
+            unreachable!("nop never splits")
+        }
+    }
+
+    #[test]
+    fn factory_closures_are_factories() {
+        let mut f = |req: u64| Request {
+            shard: (req % 3) as usize,
+            write: req.is_multiple_of(5),
+            work: Box::new(Nop),
+        };
+        let r = RequestFactory::make(&mut f, 10);
+        assert_eq!(r.shard, 1);
+        assert!(r.write);
+    }
+
+    #[test]
+    fn observe_only_disables_all_actions() {
+        let s = SloConfig::default().observe_only();
+        assert!(!s.replicate_hot && !s.retire_cold && !s.shed_overload);
+    }
+}

@@ -27,25 +27,9 @@ use allscale_core::{
 use proptest::prelude::*;
 
 /// Deterministic xorshift64 driving the op sequence (so a failure
-/// replays from the proptest seed alone).
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> Self {
-        XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
-    }
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-}
+/// replays from the proptest seed alone) — the shared kernel,
+/// stream-compatible with the copy this harness historically inlined.
+use allscale_des::rng::XorShift64 as XorShift;
 
 fn victim_policy(code: u64) -> VictimPolicy {
     match code % 3 {

@@ -17,7 +17,11 @@
 //!   parallelism and saturation;
 //! - [`ThreadActor`]: a strict-hand-off bridge that lets blocking SPMD code
 //!   (the MPI baseline) participate in the sequential simulation;
-//! - [`Tally`] / [`LogHistogram`]: measurement plumbing.
+//! - [`Tally`] / [`LogHistogram`]: measurement plumbing;
+//! - [`rng`]: the shared seeded generators (xorshift64 family, Zipf) every
+//!   randomized subsystem draws from;
+//! - [`ArrivalGen`]: open-loop request arrival processes (Poisson and
+//!   trace-driven) for the serving subsystem.
 //!
 //! ## Example
 //!
@@ -36,12 +40,15 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 mod cores;
+pub mod rng;
 mod sim;
 mod stats;
 mod thread_actor;
 mod time;
 
+pub use arrivals::{ArrivalGen, ArrivalProcess};
 pub use cores::CorePool;
 pub use sim::{Event, Sim};
 pub use stats::{LogHistogram, Tally};

@@ -276,4 +276,59 @@ mod tests {
         let shown = format!("{a}");
         assert!(shown.contains("n=3"), "display carries the count: {shown}");
     }
+
+    #[test]
+    fn merge_preserves_count_and_sum_identities() {
+        // Record one global stream and the same stream sharded four ways;
+        // merging the shards must reproduce the global histogram exactly
+        // (same buckets => same quantiles, and tally count/sum/min/max
+        // are the arithmetic identities).
+        let mut x = 0x00ff_ee00_u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 1_000_000
+        };
+        let mut global = LogHistogram::new();
+        let mut shards = vec![LogHistogram::new(); 4];
+        let values: Vec<u64> = (0..4096).map(|_| step()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            global.record(v);
+            shards[i % 4].record(v);
+        }
+        let mut merged = LogHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        let part_count: u64 = shards.iter().map(|s| s.tally().count()).sum();
+        let part_sum: u64 = shards.iter().map(|s| s.tally().sum()).sum();
+        assert_eq!(merged.tally().count(), part_count);
+        assert_eq!(merged.tally().count(), values.len() as u64);
+        assert_eq!(merged.tally().sum(), part_sum);
+        assert_eq!(merged.tally().sum(), values.iter().sum::<u64>());
+        assert_eq!(merged.tally().min(), values.iter().min().copied());
+        assert_eq!(merged.tally().max(), values.iter().max().copied());
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(
+                merged.percentile(p),
+                global.percentile(p),
+                "merged shards must reproduce the global p{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LogHistogram::new();
+        a.record(17);
+        a.record(90_000);
+        let before = (a.tally().count(), a.tally().sum(), a.p50(), a.p99());
+        a.merge(&LogHistogram::new());
+        assert_eq!(before, (a.tally().count(), a.tally().sum(), a.p50(), a.p99()));
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.p99(), a.p99());
+        assert_eq!(empty.tally().count(), a.tally().count());
+    }
 }

@@ -32,6 +32,7 @@
 
 use std::collections::BTreeMap;
 
+use allscale_des::rng::{XorShift64Star, MIX_CORRUPT, MIX_GOLDEN, MIX_ROT};
 use allscale_des::{SimDuration, SimTime};
 
 /// Why a fallible transfer did not deliver.
@@ -65,14 +66,15 @@ pub enum Verdict {
 
 /// A deterministic, seedable schedule of network faults.
 ///
-/// Probabilities are stored in parts-per-million and drawn from an
-/// internal xorshift64* generator, so the fault sequence depends only on
-/// the seed and the (deterministic) order of transfer attempts.
+/// Probabilities are stored in parts-per-million and drawn from the
+/// shared [`XorShift64Star`] generators (one per arm), so the fault
+/// sequence depends only on the seed and the (deterministic) order of
+/// transfer attempts.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
-    state: u64,
-    corrupt_state: u64,
-    rot_state: u64,
+    rng: XorShift64Star,
+    corrupt_rng: XorShift64Star,
+    rot_rng: XorShift64Star,
     drop_ppm: u32,
     delay_ppm: u32,
     corrupt_ppm: u32,
@@ -85,12 +87,12 @@ impl FaultPlan {
     /// A plan with the given seed and no faults configured.
     pub fn new(seed: u64) -> Self {
         FaultPlan {
-            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            rng: XorShift64Star::with_mix(seed, MIX_GOLDEN),
             // Corruption and rot get their own generators, seeded with
             // different odd mixing constants: turning either arm on must
             // not advance (and thereby reshuffle) the drop/delay stream.
-            corrupt_state: seed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1,
-            rot_state: seed.wrapping_mul(0x94d0_49bb_1331_11eb) | 1,
+            corrupt_rng: XorShift64Star::with_mix(seed, MIX_CORRUPT),
+            rot_rng: XorShift64Star::with_mix(seed, MIX_ROT),
             drop_ppm: 0,
             delay_ppm: 0,
             corrupt_ppm: 0,
@@ -145,18 +147,13 @@ impl FaultPlan {
     /// rot generator only when rot is configured, so plans without rot
     /// stay byte-identical.
     pub fn rot_strikes(&mut self) -> bool {
-        self.rot_ppm > 0 && Self::draw(&mut self.rot_state) < self.rot_ppm
+        self.rot_ppm > 0 && self.rot_rng.next_ppm() < self.rot_ppm
     }
 
     /// A deterministic salt for choosing *which* bit a corruption flips,
     /// drawn from the corruption generator's stream position.
     pub fn corruption_salt(&mut self) -> u64 {
-        let mut x = self.corrupt_state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.corrupt_state = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        self.corrupt_rng.next()
     }
 
     /// Mark `node` dead (fail-stop) from simulated time `at` onward.
@@ -198,34 +195,19 @@ impl FaultPlan {
             // Local copies never traverse the faulty fabric.
             return Verdict::Deliver;
         }
-        let base = if self.drop_ppm > 0 && self.draw_ppm() < self.drop_ppm {
+        let base = if self.drop_ppm > 0 && self.rng.next_ppm() < self.drop_ppm {
             Verdict::Fault(TransferFault::Dropped)
-        } else if self.delay_ppm > 0 && self.draw_ppm() < self.delay_ppm {
+        } else if self.delay_ppm > 0 && self.rng.next_ppm() < self.delay_ppm {
             Verdict::Delay(self.delay)
         } else {
             Verdict::Deliver
         };
-        let corrupt = self.corrupt_ppm > 0 && Self::draw(&mut self.corrupt_state) < self.corrupt_ppm;
+        let corrupt = self.corrupt_ppm > 0 && self.corrupt_rng.next_ppm() < self.corrupt_ppm;
         match base {
             Verdict::Fault(f) => Verdict::Fault(f),
             _ if corrupt => Verdict::Corrupt,
             other => other,
         }
-    }
-
-    /// One xorshift64* draw of the main (drop/delay) generator.
-    fn draw_ppm(&mut self) -> u32 {
-        Self::draw(&mut self.state)
-    }
-
-    /// Advance `state` by one xorshift64* step, reduced to `[0, 1e6)`.
-    fn draw(state: &mut u64) -> u32 {
-        let mut x = *state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        *state = x;
-        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 1_000_000) as u32
     }
 }
 

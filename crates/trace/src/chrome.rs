@@ -237,6 +237,25 @@ fn args_of(ev: &TraceEvent) -> String {
             put("victim", victim.to_string());
             put("thief", thief.to_string());
         }
+        EventKind::RequestArrival { req, shard, write }
+        | EventKind::Request { req, shard, write } => {
+            put("req", req.to_string());
+            put("shard", shard.to_string());
+            put("write", write.to_string());
+        }
+        EventKind::RequestAdmit { req, task } => {
+            put("req", req.to_string());
+            put("task", task.to_string());
+        }
+        EventKind::RequestShed { req, shard } => {
+            put("req", req.to_string());
+            put("shard", shard.to_string());
+        }
+        EventKind::SloReplicate { shard, p99_ns } => {
+            put("shard", shard.to_string());
+            put("p99_ns", p99_ns.to_string());
+        }
+        EventKind::SloRetire { shard } => put("shard", shard.to_string()),
         EventKind::PhaseBegin { phase } | EventKind::PhaseEnd { phase } => {
             put("phase", phase.to_string())
         }

@@ -323,6 +323,57 @@ pub enum EventKind {
         /// The asking locality.
         thief: u32,
     },
+    // ------------------------------------------------------------ serving
+    /// An open-loop request hit the cluster (instant at the frontend
+    /// locality, on the arrival process's clock).
+    RequestArrival {
+        /// Sequence number of the request in the arrival stream.
+        req: u64,
+        /// The shard the request addresses.
+        shard: u32,
+        /// Whether the request mutates the shard.
+        write: bool,
+    },
+    /// An admitted request's life from arrival to reply (span at the
+    /// frontend: arrival → admission → execute → reply).
+    Request {
+        /// Sequence number of the request.
+        req: u64,
+        /// The shard the request addressed.
+        shard: u32,
+        /// Whether the request mutated the shard.
+        write: bool,
+    },
+    /// A request was admitted and its root task spawned (instant at the
+    /// frontend).
+    RequestAdmit {
+        /// Sequence number of the request.
+        req: u64,
+        /// The root task serving it.
+        task: u64,
+    },
+    /// A request was turned away at admission because its shard's tail
+    /// latency breached the SLO (instant at the frontend).
+    RequestShed {
+        /// Sequence number of the request.
+        req: u64,
+        /// The overloaded shard.
+        shard: u32,
+    },
+    /// The SLO controller replicated a hot shard to every live locality
+    /// (instant at the controller locality).
+    SloReplicate {
+        /// The replicated shard.
+        shard: u32,
+        /// The shard's p99 latency that triggered the action.
+        p99_ns: u64,
+    },
+    /// The SLO controller retired a cold shard's broadcast replicas
+    /// (instant at the controller locality).
+    SloRetire {
+        /// The shard whose replicas were retired.
+        shard: u32,
+    },
     // -------------------------------------------------------- application
     /// A phase's root work item was requested from the driver (instant,
     /// locality 0).
@@ -367,6 +418,12 @@ impl EventKind {
             EventKind::StealRequest { .. } => "steal-request",
             EventKind::StealGrant { .. } => "steal-grant",
             EventKind::StealDeny { .. } => "steal-deny",
+            EventKind::RequestArrival { .. } => "req-arrival",
+            EventKind::Request { .. } => "request",
+            EventKind::RequestAdmit { .. } => "req-admit",
+            EventKind::RequestShed { .. } => "req-shed",
+            EventKind::SloReplicate { .. } => "slo-replicate",
+            EventKind::SloRetire { .. } => "slo-retire",
             EventKind::PhaseBegin { .. } => "phase-begin",
             EventKind::PhaseEnd { .. } => "phase-end",
         }
@@ -400,6 +457,12 @@ impl EventKind {
             EventKind::StealRequest { .. }
             | EventKind::StealGrant { .. }
             | EventKind::StealDeny { .. } => "sched",
+            EventKind::RequestArrival { .. }
+            | EventKind::Request { .. }
+            | EventKind::RequestAdmit { .. }
+            | EventKind::RequestShed { .. }
+            | EventKind::SloReplicate { .. }
+            | EventKind::SloRetire { .. } => "serve",
             EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => "phase",
         }
     }

@@ -27,26 +27,10 @@ use allscale_region::{BoxRegion, Region};
 
 // ---------------------------------------------------------------- utilities
 
-/// Deterministic xorshift64 PRNG — no external dependency, stable across
-/// platforms, seeds recorded in assertions for reproduction.
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> Self {
-        XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
-    }
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-}
+/// Deterministic xorshift64 PRNG — the shared kernel, stream-compatible
+/// with the copy this harness historically inlined (seeds recorded in
+/// assertions keep reproducing).
+use allscale_des::rng::XorShift64 as XorShift;
 
 fn r1(lo: i64, hi: i64) -> BoxRegion<1> {
     BoxRegion::cuboid([lo], [hi])

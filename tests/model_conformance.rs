@@ -24,26 +24,10 @@ use allscale_model as model;
 use allscale_region::{BoxRegion, GridBox, GridFragment, Point, Region};
 use proptest::prelude::*;
 
-/// Deterministic xorshift64 PRNG for the randomized programs below — no
-/// external dependency, identical sequences on every platform.
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> Self {
-        XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
-    }
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-}
+/// Deterministic xorshift64 PRNG for the randomized programs below —
+/// the shared kernel, stream-compatible with the copy this harness
+/// historically inlined.
+use allscale_des::rng::XorShift64 as XorShift;
 
 // ------------------------------------------------- runtime-side conformance
 

@@ -13,6 +13,7 @@
 //! batched run must be exactly as deterministic and observer-free as an
 //! unbatched one.
 
+use allscale_apps::serve::{run_with as run_serve, ServeAppConfig};
 use allscale_apps::stencil::{allscale_version, StencilConfig};
 use allscale_core::{
     BatchParams, FaultPlan, ResilienceConfig, RtConfig, RunReport, StealConfig, TraceConfig,
@@ -252,6 +253,39 @@ fn steal_kill_recover_soak() {
             a.trace.as_ref().unwrap().to_chrome_json(),
             b.trace.as_ref().unwrap().to_chrome_json(),
             "seed {seed}: steal+kill+recover runs must stay byte-deterministic"
+        );
+    }
+}
+
+// --------------------------------------------------- serving variant
+
+/// The request-serving subsystem rides the same tracer: two traced runs
+/// of the sharded KV store under open-loop Poisson traffic must export
+/// byte-identical Chrome JSON, with the request spans and admission
+/// events present. (Traced-vs-untraced perturbation freedom for serving
+/// is asserted in `serving_conformance.rs`; this pins the export
+/// itself, arrival jitter and all, to the seed.)
+#[test]
+fn serving_runs_export_byte_identical_chrome_json() {
+    let run = || {
+        let cfg = ServeAppConfig::small();
+        let mut rt = RtConfig::test(4, 2);
+        rt.trace = Some(TraceConfig::default());
+        run_serve(&cfg, rt).report
+    };
+    let (a, b) = (run(), run());
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.len(), tb.len(), "event counts must match");
+    let json = ta.to_chrome_json();
+    assert_eq!(
+        json,
+        tb.to_chrome_json(),
+        "identical serving runs must export byte-identical Chrome JSON"
+    );
+    for name in ["req-arrival", "request", "req-admit"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "chrome export must carry {name} events"
         );
     }
 }
