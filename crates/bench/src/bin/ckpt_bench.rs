@@ -1,0 +1,121 @@
+//! The recovery-time/overhead frontier of the checkpoint pipeline
+//! (EXPERIMENTS.md entry C1): sweep mode × incrementality × cadence on
+//! the stencil, recording per point the makespan overhead against an
+//! uncheckpointed baseline and the cost of recovering from a fail-stop
+//! kill at 55% of the run — the per-PR perf-tracking artifact.
+//!
+//! Emits `BENCH_ckpt.json` (path overridable as the first argument):
+//! a JSON array with one object per swept point.
+//!
+//! ```text
+//! cargo run --release -p allscale-bench --bin ckpt_bench [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use allscale_apps::stencil::{allscale_version, StencilConfig};
+use allscale_core::{CheckpointConfig, CkptMode, FaultPlan, ResilienceConfig, RtConfig};
+use allscale_des::{SimDuration, SimTime};
+
+fn stencil() -> StencilConfig {
+    StencilConfig {
+        steps: 6,
+        work_scale: 150.0,
+        ..StencilConfig::small(4)
+    }
+}
+
+fn rt_with(ckpt: CheckpointConfig, every: usize, hb: Option<u64>) -> RtConfig {
+    let mut rt = RtConfig::test(4, 2);
+    let mut res = ResilienceConfig {
+        checkpoint_every: every,
+        ckpt,
+        ..ResilienceConfig::default()
+    };
+    if let Some(ns) = hb {
+        res.heartbeat_period = SimDuration::from_nanos(ns);
+    }
+    rt.resilience = Some(res);
+    rt
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ckpt.json".to_string());
+    let cfg = stencil();
+    let (base_res, base) = allscale_version::run_with_report(&cfg, RtConfig::test(4, 2));
+    assert!(base_res.validated);
+    let base_ns = base.finish_time.as_nanos();
+
+    let mut rows = Vec::new();
+    for (mode, incremental, label) in [
+        (CkptMode::Sync, false, "sync-full"),
+        (CkptMode::Sync, true, "sync-inc"),
+        (CkptMode::Async, false, "async-full"),
+        (CkptMode::Async, true, "async-inc"),
+    ] {
+        for every in [1usize, 2, 4] {
+            let ckpt = CheckpointConfig {
+                mode,
+                incremental,
+                ..CheckpointConfig::default()
+            };
+            let started = Instant::now();
+            let (res, report) = allscale_version::run_with_report(&cfg, rt_with(ckpt, every, None));
+            assert!(res.validated, "{label}/{every} perturbed the result");
+            let total = report.finish_time.as_nanos();
+            let overhead = total.saturating_sub(base_ns);
+
+            // Recovery axis: kill a locality at 55% of this arm's clean
+            // run and measure what the recovery costs.
+            let mut plan = FaultPlan::new(0xc1);
+            plan.kill_at(2, SimTime::from_nanos(total * 55 / 100));
+            let mut rt = rt_with(ckpt, every, Some((total / 100).max(1_000)));
+            rt.faults = Some(plan);
+            let (rres, rreport) = allscale_version::run_with_report(&cfg, rt);
+            assert_eq!(rres.checksum, res.checksum, "{label}/{every} recovery diverged");
+            let rr = &rreport.monitor.resilience;
+            assert!(rr.recoveries >= 1);
+            let host_ms = started.elapsed().as_secs_f64() * 1e3;
+
+            let r = &report.monitor.resilience;
+            println!(
+                "{label:<10} every {every}: overhead {overhead:>8} ns ({:>5.2}%), \
+                 stored {:>7} B, recovery {:>8} ns reexec + {:>7} ns reads",
+                overhead as f64 / base_ns as f64 * 100.0,
+                r.checkpoint_bytes,
+                rreport.finish_time.as_nanos().saturating_sub(total),
+                rr.recovery_read_ns,
+            );
+            let mut row = String::new();
+            let _ = write!(
+                row,
+                "{{\"pipeline\":\"{label}\",\"cadence\":{every},\"baseline_ns\":{base_ns},\
+                 \"makespan_ns\":{total},\"overhead_ns\":{overhead},\
+                 \"stored_bytes\":{},\"logical_bytes\":{},\"anchors\":{},\"deltas\":{},\
+                 \"stall_ns\":{},\"fence_ns\":{},\"scan_ns\":{},\
+                 \"recovery_makespan_ns\":{},\"recovery_read_ns\":{},\
+                 \"restored_bytes\":{},\"tasks_reexecuted\":{},\"torn\":{},\
+                 \"host_ms\":{host_ms:.1}}}",
+                r.checkpoint_bytes,
+                r.ckpt_logical_bytes,
+                r.ckpt_anchors,
+                r.ckpt_deltas,
+                r.ckpt_stall_ns,
+                r.ckpt_fence_ns,
+                r.ckpt_fp_ns,
+                rreport.finish_time.as_nanos(),
+                rr.recovery_read_ns,
+                rr.restored_bytes,
+                rr.tasks_reexecuted,
+                rr.ckpt_torn,
+            );
+            rows.push(row);
+        }
+    }
+    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    std::fs::write(&out_path, &json).expect("write BENCH_ckpt.json");
+    println!("\nwrote {} points to {out_path}", rows.len());
+}

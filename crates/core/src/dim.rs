@@ -16,7 +16,7 @@
 //!   other localities; a write lock cannot be granted while an export of
 //!   the region is outstanding (the model's exclusive-writes property).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::dynamic::{DynFragment, DynRegion, ItemDescriptor};
 use crate::task::{AccessMode, ItemId, Requirement, TaskId};
@@ -61,6 +61,19 @@ struct ItemSlot {
 pub struct DataItemManager {
     locality: usize,
     items: BTreeMap<ItemId, ItemSlot>,
+    /// Copy-on-write snapshot capture (asynchronous checkpointing).
+    /// While a snapshot is armed, every item whose owned data is about
+    /// to mutate has its boundary-time pre-image serialized first —
+    /// the clone-on-first-write half of the hold machinery; untouched
+    /// items are serialized lazily when the drain finishes.
+    snap_armed: BTreeSet<ItemId>,
+    /// Pre-images captured by first writes since the snapshot was armed.
+    snap_captured: BTreeMap<ItemId, Vec<u8>>,
+    /// Whether a snapshot capture is currently armed.
+    snap_active: bool,
+    /// Pre-image clones taken by first writes (drained by the runtime's
+    /// resilience accounting).
+    cow_captures: u64,
 }
 
 impl DataItemManager {
@@ -69,6 +82,10 @@ impl DataItemManager {
         DataItemManager {
             locality,
             items: BTreeMap::new(),
+            snap_armed: BTreeSet::new(),
+            snap_captured: BTreeMap::new(),
+            snap_active: false,
+            cow_captures: 0,
         }
     }
 
@@ -101,7 +118,84 @@ impl DataItemManager {
 
     /// Remove a data item entirely (the paper's `destroy` action).
     pub fn destroy(&mut self, item: ItemId) {
+        self.cow_capture(item);
         self.items.remove(&item);
+    }
+
+    // ---- copy-on-write snapshot capture ---------------------------------
+
+    /// Arm a copy-on-write snapshot of the current boundary state: every
+    /// registered item is marked, and its pre-image is serialized on the
+    /// first subsequent mutation (or lazily at
+    /// [`DataItemManager::finish_snapshot`] if it is never touched).
+    /// Arming is O(items) — no data is copied up front.
+    pub fn arm_snapshot(&mut self) {
+        self.snap_armed = self.items.keys().copied().collect();
+        self.snap_captured.clear();
+        self.snap_active = true;
+    }
+
+    /// Whether a copy-on-write snapshot capture is currently armed.
+    pub fn snapshot_active(&self) -> bool {
+        self.snap_active
+    }
+
+    /// Capture `item`'s boundary-time pre-image if a snapshot is armed and
+    /// the item has not been captured yet (clone-on-first-write).
+    fn cow_capture(&mut self, item: ItemId) {
+        if !self.snap_active || !self.snap_armed.remove(&item) {
+            return;
+        }
+        if let Some(slot) = self.items.get(&item) {
+            let bytes = slot.frag.extract_dyn(slot.owned.as_ref()).encode();
+            self.snap_captured.insert(item, bytes);
+            self.cow_captures += 1;
+        }
+    }
+
+    /// Complete the armed snapshot: lazily serialize every item that was
+    /// never mutated since arming and return the full boundary state —
+    /// bit-identical to what [`DataItemManager::checkpoint`] would have
+    /// produced at arm time (ascending [`ItemId`] order). Items created
+    /// after arming are excluded; items destroyed after arming appear
+    /// with their pre-destruction data.
+    pub fn finish_snapshot(&mut self) -> Vec<(ItemId, Vec<u8>)> {
+        let armed = std::mem::take(&mut self.snap_armed);
+        for id in armed {
+            if let Some(slot) = self.items.get(&id) {
+                let bytes = slot.frag.extract_dyn(slot.owned.as_ref()).encode();
+                self.snap_captured.insert(id, bytes);
+            }
+        }
+        self.snap_active = false;
+        std::mem::take(&mut self.snap_captured).into_iter().collect()
+    }
+
+    /// Abandon the armed snapshot without producing it (the drain it was
+    /// feeding was torn by a failure).
+    pub fn abort_snapshot(&mut self) {
+        self.snap_armed.clear();
+        self.snap_captured.clear();
+        self.snap_active = false;
+    }
+
+    /// Drain the count of pre-image clones taken by first writes since the
+    /// last call (resilience accounting).
+    pub fn take_cow_captures(&mut self) -> u64 {
+        std::mem::take(&mut self.cow_captures)
+    }
+
+    /// Per-item fingerprint of the owned data: `(item, fnv1a-64 of the
+    /// serialized owned region, serialized length)`, ascending [`ItemId`]
+    /// order — the change-detection input of incremental checkpointing.
+    pub fn owned_fingerprints(&self) -> Vec<(ItemId, u64, u64)> {
+        self.items
+            .iter()
+            .map(|(&id, slot)| {
+                let bytes = slot.frag.extract_dyn(slot.owned.as_ref()).encode();
+                (id, allscale_region::fnv1a_64(&bytes), bytes.len() as u64)
+            })
+            .collect()
     }
 
     /// Whether the item is registered here.
@@ -149,6 +243,7 @@ impl DataItemManager {
     /// First-touch allocation (the model's (init) rule): extend ownership
     /// and allocate default-initialized storage for `region`.
     pub fn init_owned(&mut self, item: ItemId, region: &dyn DynRegion) {
+        self.cow_capture(item);
         let slot = self.slot_mut(item);
         let fresh = (slot.desc.alloc_fragment)(region);
         // Do not clobber data we already hold: only insert the truly new
@@ -181,6 +276,7 @@ impl DataItemManager {
     /// Extract `region` for a migration: data and ownership leave this
     /// locality.
     pub fn export_migration(&mut self, item: ItemId, region: &dyn DynRegion) -> Vec<u8> {
+        self.cow_capture(item);
         let slot = self.slot_mut(item);
         let sub = slot.frag.extract_dyn(region);
         let bytes = sub.encode();
@@ -192,6 +288,7 @@ impl DataItemManager {
     /// Import serialized fragment data as a read replica held by `task`
     /// for the duration of its execution.
     pub fn import_replica(&mut self, item: ItemId, bytes: &[u8], task: TaskId) {
+        self.cow_capture(item);
         let slot = self.slot_mut(item);
         let frag = (slot.desc.decode_fragment)(bytes);
         let region = frag.region_dyn();
@@ -202,6 +299,7 @@ impl DataItemManager {
     /// Import serialized fragment data as a persistent replica (broadcast
     /// read-mostly data, e.g. the top levels of a static tree).
     pub fn import_persistent(&mut self, item: ItemId, bytes: &[u8]) {
+        self.cow_capture(item);
         let slot = self.slot_mut(item);
         let frag = (slot.desc.decode_fragment)(bytes);
         let region = frag.region_dyn();
@@ -242,6 +340,7 @@ impl DataItemManager {
 
     /// Import serialized fragment data as owned (migration arrival).
     pub fn import_owned(&mut self, item: ItemId, bytes: &[u8]) {
+        self.cow_capture(item);
         let slot = self.slot_mut(item);
         let frag = (slot.desc.decode_fragment)(bytes);
         let region = frag.region_dyn();
@@ -393,6 +492,7 @@ impl DataItemManager {
     /// transient hold — still covers it; the owner's export fence is
     /// unaffected.
     pub fn drop_persistent(&mut self, item: ItemId) {
+        self.cow_capture(item);
         let slot = self.slot_mut(item);
         let mut drop = std::mem::replace(&mut slot.persistent, (slot.desc.empty_region)());
         drop = drop.difference_dyn(slot.owned.as_ref());
@@ -413,6 +513,7 @@ impl DataItemManager {
     /// dropped only where nothing else — owned region or a transient hold
     /// — still covers it, mirroring [`DataItemManager::drop_persistent`].
     pub fn drop_persistent_region(&mut self, item: ItemId, region: &dyn DynRegion) {
+        self.cow_capture(item);
         let slot = self.slot_mut(item);
         let mut drop = slot.persistent.intersect_dyn(region);
         slot.persistent = slot.persistent.difference_dyn(region);
@@ -473,6 +574,7 @@ impl DataItemManager {
 
     /// Type-erased mutable fragment access.
     pub(crate) fn fragment_any_mut(&mut self, item: ItemId) -> &mut dyn std::any::Any {
+        self.cow_capture(item);
         self.slot_mut(item).frag.as_any_mut()
     }
 
@@ -483,6 +585,7 @@ impl DataItemManager {
         b: ItemId,
     ) -> (&dyn std::any::Any, &mut dyn std::any::Any) {
         assert_ne!(a, b, "fragment_pair_mut requires distinct items");
+        self.cow_capture(b);
         // Obtain two mutable references via a double lookup on the map.
         // BTreeMap has no get_many_mut; use pointer juggling through
         // iter_mut, which yields disjoint &mut.
@@ -528,6 +631,7 @@ impl DataItemManager {
     /// backing those claims are gone.
     pub fn restore(&mut self, snapshot: &[(ItemId, Vec<u8>)]) {
         for (id, bytes) in snapshot {
+            self.cow_capture(*id);
             let slot = self.slot_mut(*id);
             let frag = (slot.desc.decode_fragment)(bytes);
             let region = frag.region_dyn();
@@ -552,6 +656,7 @@ impl DataItemManager {
             .map(|(&id, slot)| (id, slot.desc.clone()))
             .collect();
         for (id, desc) in descs {
+            self.cow_capture(id);
             self.register(id, desc);
         }
     }
@@ -898,5 +1003,92 @@ mod tests {
         assert!(dim.knows(ItemId(0)));
         dim.destroy(ItemId(0));
         assert!(!dim.knows(ItemId(0)));
+    }
+
+    #[test]
+    fn armed_snapshot_equals_eager_checkpoint_despite_mutations() {
+        let mut dim = mk();
+        dim.register(ItemId(1), ItemDescriptor::of::<G2>("grid2"));
+        dim.init_owned(ItemId(0), &r2([0, 0], [4, 4]));
+        dim.init_owned(ItemId(1), &r2([0, 0], [2, 2]));
+        dim.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([1, 1]), 4.0);
+        let eager = dim.checkpoint();
+        dim.arm_snapshot();
+        // Mutate item 0 after arming; item 1 stays untouched.
+        dim.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([1, 1]), -9.0);
+        dim.init_owned(ItemId(0), &r2([0, 0], [6, 6]));
+        let lazy = dim.finish_snapshot();
+        assert_eq!(lazy, eager, "COW snapshot must be bit-identical to arm-time state");
+        assert_eq!(dim.take_cow_captures(), 1, "one first-write clone for item 0");
+        assert!(!dim.snapshot_active());
+    }
+
+    #[test]
+    fn abort_snapshot_clears_capture_state() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [2, 2]));
+        dim.arm_snapshot();
+        dim.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([0, 0]), 1.0);
+        dim.abort_snapshot();
+        assert!(!dim.snapshot_active());
+        // A later finish returns the post-mutation state (nothing armed,
+        // nothing pre-captured carried over).
+        dim.arm_snapshot();
+        let snap = dim.finish_snapshot();
+        assert_eq!(snap, dim.checkpoint());
+    }
+
+    #[test]
+    fn snapshot_excludes_items_created_after_arming() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [2, 2]));
+        dim.arm_snapshot();
+        dim.register(ItemId(7), ItemDescriptor::of::<G2>("late"));
+        dim.init_owned(ItemId(7), &r2([0, 0], [1, 1]));
+        let snap = dim.finish_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, ItemId(0));
+    }
+
+    #[test]
+    fn snapshot_keeps_items_destroyed_after_arming() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [3, 3]));
+        let eager = dim.checkpoint();
+        dim.arm_snapshot();
+        dim.destroy(ItemId(0));
+        let snap = dim.finish_snapshot();
+        assert_eq!(snap, eager, "pre-destruction data belongs to the boundary");
+    }
+
+    #[test]
+    fn owned_fingerprints_track_owned_changes_only() {
+        let mut dim = mk();
+        dim.init_owned(ItemId(0), &r2([0, 0], [3, 3]));
+        let before = dim.owned_fingerprints();
+        // A replica import of remote data leaves the owned bytes alone.
+        let mut owner = DataItemManager::new(1);
+        owner.register(ItemId(0), ItemDescriptor::of::<G2>("grid"));
+        owner.init_owned(ItemId(0), &r2([4, 0], [6, 2]));
+        let bytes = owner.export_replica(ItemId(0), &r2([4, 0], [6, 2]), 0, TaskId(1));
+        dim.import_replica(ItemId(0), &bytes, TaskId(1));
+        assert_eq!(dim.owned_fingerprints(), before);
+        // An owned-data write changes the fingerprint but not the length.
+        dim.fragment_any_mut(ItemId(0))
+            .downcast_mut::<GridFragment<f64, 2>>()
+            .unwrap()
+            .set(&Point([2, 2]), 13.0);
+        let after = dim.owned_fingerprints();
+        assert_ne!(after[0].1, before[0].1);
+        assert_eq!(after[0].2, before[0].2);
     }
 }

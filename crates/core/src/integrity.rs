@@ -90,6 +90,10 @@ pub struct IntegrityStats {
     /// Recoveries that had to fall back past a corrupt checkpoint to an
     /// older one (or to a full restart).
     pub checkpoint_fallbacks: u64,
+    /// Anchor/delta chain links checksum-verified during recovery
+    /// reconstructions (each link's shards are verified before the delta
+    /// is applied).
+    pub ckpt_links_verified: u64,
     /// Completed scrubber passes over the cluster.
     pub scrub_passes: u64,
     /// Replica audits performed (one per replica region per pass).

@@ -103,7 +103,7 @@ pub use policy::{
     DataAwarePolicy, PolicyEnv, RandomPolicy, RoundRobinPolicy, SchedulingPolicy, Variant,
 };
 pub use rebalance::{plan_rebalance, split_off_cells, MoveSuggestion};
-pub use resilience::{ResilienceConfig, ResilienceStats};
+pub use resilience::{CheckpointConfig, CkptMode, ResilienceConfig, ResilienceStats};
 pub use runtime::{AppDriver, Checkpoint, Locality, RtConfig, RtCtx, Runtime};
 pub use scheduler::{
     DataAwareScheduler, Placement, Scheduler, StealConfig, VictimPolicy, WorkStealingScheduler,
@@ -112,7 +112,10 @@ pub use slo::{Request, RequestFactory, ServeSpec, SloConfig};
 
 // Fault-injection types, re-exported so applications configuring
 // `RtConfig::faults` need not depend on `allscale-net` directly.
-pub use allscale_net::{BatchParams, FaultPlan, RetryPolicy, TrafficStats, TransferFault};
+pub use allscale_net::{
+    BatchParams, FaultPlan, RetryPolicy, StorageParams, StorageStats, StorageTier, TrafficStats,
+    TransferFault,
+};
 
 // Tracing types, re-exported so applications enabling `RtConfig::trace`
 // and consuming `RunReport::trace` need not depend on `allscale-trace`

@@ -4,7 +4,7 @@
 //! every run.
 
 use allscale_des::{LogHistogram, SimTime};
-use allscale_net::TrafficStats;
+use allscale_net::{StorageStats, TrafficStats};
 use allscale_trace::{critical_path, CriticalPathReport, Trace};
 
 use crate::integrity::IntegrityStats;
@@ -206,6 +206,10 @@ pub struct RunReport {
     /// counters (`batches`, `batched_msgs`, `batched_bytes`,
     /// `flushes_by_cause`) when transfer coalescing is enabled.
     pub traffic: TrafficStats,
+    /// Checkpoint storage-tier traffic (local + remote writes, recovery
+    /// reads, fingerprint scans). All zeros when the run never
+    /// checkpointed.
+    pub storage: StorageStats,
     /// Simulation events executed (diagnostics).
     pub events: u64,
     /// The recorded trace, when `RtConfig::trace` enabled the sink
@@ -311,6 +315,33 @@ impl RunReport {
                 r.failed_transfers,
             );
         }
+        if r.checkpoints > 0 || r.ckpt_torn > 0 {
+            let _ = writeln!(
+                out,
+                "checkpointing: {} anchors + {} deltas ({} stored / {} logical bytes), {} torn | stall {} ns, fence {} ns, drain {} ns, scan {} ns | {} cow clones, recovery reads {} ns",
+                r.ckpt_anchors,
+                r.ckpt_deltas,
+                r.checkpoint_bytes,
+                r.ckpt_logical_bytes,
+                r.ckpt_torn,
+                r.ckpt_stall_ns,
+                r.ckpt_fence_ns,
+                r.ckpt_drain_ns,
+                r.ckpt_fp_ns,
+                r.cow_captures,
+                r.recovery_read_ns,
+            );
+            let st = &self.storage;
+            let _ = writeln!(
+                out,
+                "  storage: local {} B written / {} B read, remote {} B written / {} B read, {} B fingerprinted",
+                st.local_bytes_written,
+                st.local_bytes_read,
+                st.remote_bytes_written,
+                st.remote_bytes_read,
+                st.fingerprint_bytes,
+            );
+        }
         if t.undeliverable > 0 {
             let _ = writeln!(
                 out,
@@ -322,7 +353,7 @@ impl RunReport {
         if g.wire_corruptions > 0 || g.rot_injected > 0 || g.scrub_passes > 0 {
             let _ = writeln!(
                 out,
-                "integrity: {} wire corruptions ({} detected, {} undetected, {} re-requests), {} rot events | checkpoints: {} shards rejected, {} fallbacks | scrub: {} passes, {} audits, {} divergent, {} repairs, {} quarantines",
+                "integrity: {} wire corruptions ({} detected, {} undetected, {} re-requests), {} rot events | checkpoints: {} shards rejected, {} fallbacks, {} links verified | scrub: {} passes, {} audits, {} divergent, {} repairs, {} quarantines",
                 g.wire_corruptions,
                 g.wire_detected,
                 g.wire_undetected,
@@ -330,6 +361,7 @@ impl RunReport {
                 g.rot_injected,
                 g.checkpoint_shards_rejected,
                 g.checkpoint_fallbacks,
+                g.ckpt_links_verified,
                 g.scrub_passes,
                 g.replicas_scrubbed,
                 g.scrub_divergent,
@@ -473,15 +505,46 @@ impl RunReport {
             r.net_retries,
             r.failed_transfers,
         );
+        let _ = write!(
+            out,
+            ",\"checkpointing\":{{\"anchors\":{},\"deltas\":{},\"logical_bytes\":{},\"stall_ns\":{},\"fence_ns\":{},\"drain_ns\":{},\"fp_ns\":{},\"torn\":{},\"cow_captures\":{},\"recovery_read_ns\":{}}}",
+            r.ckpt_anchors,
+            r.ckpt_deltas,
+            r.ckpt_logical_bytes,
+            r.ckpt_stall_ns,
+            r.ckpt_fence_ns,
+            r.ckpt_drain_ns,
+            r.ckpt_fp_ns,
+            r.ckpt_torn,
+            r.cow_captures,
+            r.recovery_read_ns,
+        );
+        let st = &self.storage;
+        let _ = write!(
+            out,
+            ",\"storage\":{{\"local_bytes_written\":{},\"remote_bytes_written\":{},\"local_write_ns\":{},\"remote_write_ns\":{},\"local_bytes_read\":{},\"remote_bytes_read\":{},\"read_ns\":{},\"fingerprint_bytes\":{},\"fingerprint_ns\":{}}}",
+            st.local_bytes_written,
+            st.remote_bytes_written,
+            st.local_write_ns,
+            st.remote_write_ns,
+            st.local_bytes_read,
+            st.remote_bytes_read,
+            st.read_ns,
+            st.fingerprint_bytes,
+            st.fingerprint_ns,
+        );
         let g = &m.integrity;
         let _ = write!(
             out,
-            ",\"integrity\":{{\"wire_corruptions\":{},\"wire_detected\":{},\"wire_undetected\":{},\"re_requests\":{},\"rot_injected\":{},\"scrub_passes\":{},\"scrub_repairs\":{},\"quarantines\":{}}}",
+            ",\"integrity\":{{\"wire_corruptions\":{},\"wire_detected\":{},\"wire_undetected\":{},\"re_requests\":{},\"rot_injected\":{},\"ckpt_shards_rejected\":{},\"ckpt_fallbacks\":{},\"ckpt_links_verified\":{},\"scrub_passes\":{},\"scrub_repairs\":{},\"quarantines\":{}}}",
             g.wire_corruptions,
             g.wire_detected,
             g.wire_undetected,
             g.re_requests,
             g.rot_injected,
+            g.checkpoint_shards_rejected,
+            g.checkpoint_fallbacks,
+            g.ckpt_links_verified,
             g.scrub_passes,
             g.scrub_repairs,
             g.quarantines,

@@ -31,9 +31,9 @@ use std::collections::BTreeMap;
 use allscale_des::{CorePool, LogHistogram, Sim, SimDuration, SimTime};
 use allscale_net::{
     frame, AnyTopology, Batch, BatchParams, ClusterSpec, Coalescer, Delivered, Enqueue, FaultPlan,
-    Network, RetryPolicy,
+    Network, RetryPolicy, StorageTier,
 };
-use allscale_region::ItemType;
+use allscale_region::{fnv1a_64, ItemType};
 use allscale_trace::{
     EventKind, SpawnVariant, TraceConfig, TraceEvent, TraceSink, TransferPurpose,
 };
@@ -46,7 +46,9 @@ use crate::integrity::{IntegrityConfig, IntegrityManager};
 use crate::loc_cache::LocationCache;
 use crate::monitor::{Monitor, RunReport};
 use crate::policy::{DataAwarePolicy, PolicyEnv, SchedulingPolicy, Variant};
-use crate::resilience::{ResilienceConfig, ResilienceManager, SavedCheckpoint};
+use crate::resilience::{
+    reconstruct, CkptKind, CkptMode, ResilienceConfig, ResilienceManager, SavedCkpt,
+};
 use crate::scheduler::{
     DataAwareScheduler, Placement, Scheduler, StealConfig, WorkStealingScheduler,
 };
@@ -252,6 +254,11 @@ pub struct RtWorld {
     done: bool,
     /// Resilience-manager state (`None` when the service is disabled).
     resilience: Option<ResilienceManager>,
+    /// A checkpoint drain still in flight: armed at a boundary, committed
+    /// by a scheduled event when the slower storage tier finishes. At
+    /// most one per world — the next checkpointing boundary write-fences
+    /// on it instead of arming a second capture.
+    pending_ckpt: Option<PendingCkpt>,
     /// Integrity-service state (`None` when the service is disabled).
     integrity: Option<IntegrityManager>,
     /// Localities declared dead by the failure detector.
@@ -518,6 +525,39 @@ impl RtCtx<'_> {
         }
     }
 
+    /// Test hook: flip a byte in the first non-empty stored shard of each
+    /// of the newest `n` retained checkpoints — simulated targeted
+    /// at-rest corruption, for exercising the recovery fallback chain
+    /// without a fault plan's random rot arm. No-op when resilience is
+    /// off or fewer checkpoints are retained.
+    #[doc(hidden)]
+    pub fn corrupt_newest_checkpoints(&mut self, n: usize) {
+        let Some(mgr) = &mut self.world.resilience else {
+            return;
+        };
+        for entry in mgr.saved.iter_mut().rev().take(n) {
+            'entry: for row in entry.shards.iter_mut() {
+                for (_, bytes) in row.iter_mut() {
+                    if !bytes.is_empty() {
+                        bytes[0] ^= 0xff;
+                        break 'entry;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Test hook: how many checkpoints (anchor + delta links) the
+    /// resilience manager currently retains.
+    #[doc(hidden)]
+    pub fn retained_checkpoints(&self) -> usize {
+        self.world
+            .resilience
+            .as_ref()
+            .map(|m| m.saved.len())
+            .unwrap_or(0)
+    }
+
     /// Verify the runtime's distributed state against the formal model's
     /// invariants (paper Section 2.5) at a phase boundary:
     ///
@@ -662,6 +702,36 @@ impl Checkpoint {
     }
 }
 
+/// An asynchronous checkpoint in flight: the copy-on-write capture was
+/// armed at a phase boundary, the storage drain is running in the
+/// background, and a scheduled event commits the checkpoint when the
+/// slower tier finishes. Discarded as *torn* if a recovery strikes
+/// first — a partially drained checkpoint is never restored from.
+struct PendingCkpt {
+    /// Phase counter at the arming boundary.
+    phase: usize,
+    /// Full anchor or delta against the previous checkpoint.
+    kind: CkptKind,
+    /// Items each locality will store (changed shards only, for a
+    /// delta), ascending.
+    plan: Vec<Vec<ItemId>>,
+    /// Boundary fingerprints per locality: `item -> (fp, len)` — becomes
+    /// the manager's change-detection reference at commit.
+    fps: Vec<BTreeMap<ItemId, (u64, u64)>>,
+    /// When the capture was armed.
+    started: SimTime,
+    /// When the slower storage tier finishes draining.
+    completes_at: SimTime,
+    /// `Monitor::total_tasks()` at the boundary.
+    tasks_done: u64,
+    /// Full boundary-state bytes the checkpoint represents.
+    logical_bytes: u64,
+    /// Bytes actually written to each tier (delta shards only).
+    stored_bytes: u64,
+    /// Shards actually written (sum over localities).
+    stored_shards: u64,
+}
+
 /// The runtime entry point.
 pub struct Runtime {
     sim: RtSim,
@@ -729,6 +799,7 @@ impl Runtime {
             resilience: config
                 .resilience
                 .map(|cfg| ResilienceManager::new(cfg, nodes)),
+            pending_ckpt: None,
             integrity: config.integrity.map(IntegrityManager::new),
             dead: vec![false; nodes],
             run_epoch: 0,
@@ -790,6 +861,11 @@ impl Runtime {
             remote_msgs: w.net.stats().remote_msgs(),
             remote_bytes: w.net.stats().remote_bytes(),
             traffic: w.net.stats().clone(),
+            storage: w
+                .resilience
+                .as_ref()
+                .map(|m| m.storage.stats.clone())
+                .unwrap_or_default(),
             events: self.sim.events_run(),
             trace: w.trace.take(),
         }
@@ -1355,7 +1431,13 @@ fn policy_env(w: &RtWorld) -> (usize, usize, Vec<usize>) {
 // ------------------------------------------------------------- phase driver
 
 fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
-    maybe_checkpoint(sim, prev.is_none());
+    if let Some(resume) = maybe_checkpoint(sim, prev.is_none()) {
+        // The boundary stalls — a synchronous drain, an incremental
+        // change-detection scan, or a write-fence on the previous drain
+        // — and re-enters itself once the stall lifts.
+        schedule_task_event(sim, resume, move |sim| advance_phase(sim, prev));
+        return;
+    }
     let phase = sim.world.phase;
     let now = sim.now();
     // Phase orchestration is hosted by the detector locality: the lowest-
@@ -1417,45 +1499,142 @@ fn advance_phase(sim: &mut RtSim, prev: TaskValue) {
 
 // --------------------------------------------------------------- resilience
 
-/// Snapshot the cluster at a phase boundary when the cadence says so.
+/// Drive the checkpoint pipeline at a phase boundary. Returns `Some(t)`
+/// when the boundary must stall until `t` (a synchronous drain, the
+/// incremental change-detection scan, or a write-fence on a still-
+/// running previous drain) — the caller reschedules itself and re-enters.
+/// Returns `None` when the phase may proceed immediately.
 ///
-/// Boundaries whose phase value is `Some` are skipped: `TaskValue` is an
-/// opaque `Box<dyn Any>` that cannot be serialized into the checkpoint,
-/// so the replay (which feeds `None`) would not be faithful. Drivers that
-/// thread values between phases simply get coarser checkpoints.
-fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
+/// Boundaries whose phase value is `Some` never checkpoint: `TaskValue`
+/// is an opaque `Box<dyn Any>` that cannot be serialized into the
+/// checkpoint, so the replay (which feeds `None`) would not be faithful.
+/// Drivers that thread values between phases simply get coarser
+/// checkpoints.
+fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) -> Option<SimTime> {
+    sim.world.resilience.as_ref()?;
+    let now = sim.now();
     let phase = sim.world.phase;
-    let due = match &sim.world.resilience {
-        Some(mgr) => prev_is_none && mgr.due(phase),
-        None => return,
+    if let Some(p) = &sim.world.pending_ckpt {
+        if p.phase == phase {
+            // Re-entry into the boundary that armed this capture (stall
+            // resume, or a same-instant scheduling race with the commit
+            // event): commit if the drain is done, else let the phase
+            // run alongside its own background drain.
+            if p.completes_at <= now {
+                commit_pending_ckpt(sim);
+            }
+            return None;
+        }
+        if p.completes_at > now {
+            // The previous drain has not landed by this boundary:
+            // write-fence. The boundary stalls until the commit, which
+            // also keeps captures strictly one-at-a-time.
+            let wait = p.completes_at - now;
+            let (pphase, until) = (p.phase, p.completes_at);
+            let w = &mut sim.world;
+            w.monitor.resilience.ckpt_fence_ns += wait.as_nanos();
+            let host = detector_host(w);
+            let epoch = w.run_epoch;
+            w.trace.record(|| {
+                TraceEvent::span(
+                    now.as_nanos(),
+                    wait.as_nanos(),
+                    host as u32,
+                    EventKind::CheckpointFence {
+                        phase: pphase as u32,
+                    },
+                )
+                .in_epoch(epoch)
+            });
+            return Some(until);
+        }
+        // Drain finished but its commit event has not fired yet at this
+        // exact instant: commit inline (the scheduled event no-ops).
+        commit_pending_ckpt(sim);
+    }
+    let due = {
+        let mgr = sim.world.resilience.as_ref().expect("resilience enabled");
+        prev_is_none && mgr.due(phase)
     };
     if !due {
-        return;
+        return None;
     }
-    let mut snap = Checkpoint {
-        per_locality: sim
-            .world
-            .localities
+    // ---- capture: fingerprint the boundary and arm the COW snapshot.
+    let fps: Vec<BTreeMap<ItemId, (u64, u64)>> = sim
+        .world
+        .localities
+        .iter()
+        .map(|l| {
+            l.dim
+                .owned_fingerprints()
+                .into_iter()
+                .map(|(id, fp, len)| (id, (fp, len)))
+                .collect()
+        })
+        .collect();
+    let logical_bytes: u64 = fps
+        .iter()
+        .flat_map(|m| m.values().map(|&(_, len)| len))
+        .sum();
+    let tasks_done = sim.world.monitor.total_tasks();
+    let w = &mut sim.world;
+    let mgr = w.resilience.as_mut().expect("resilience enabled");
+    let kind = mgr.next_kind();
+    let mode = mgr.cfg.ckpt.mode;
+    // The change-detection scan is billed (at memory-bandwidth rate)
+    // only when incremental checkpointing actually consumes it.
+    let fp_ns = if mgr.cfg.ckpt.incremental {
+        mgr.storage.fingerprint_ns(logical_bytes)
+    } else {
+        0
+    };
+    let plan: Vec<Vec<ItemId>> = match kind {
+        CkptKind::Anchor => fps.iter().map(|m| m.keys().copied().collect()).collect(),
+        CkptKind::Delta => fps
             .iter()
-            .map(|l| l.dim.checkpoint())
+            .zip(&mgr.last_fps)
+            .map(|(cur, last)| {
+                cur.iter()
+                    .filter(|(id, sig)| last.get(id) != Some(sig))
+                    .map(|(id, _)| *id)
+                    .collect()
+            })
             .collect(),
     };
-    let now = sim.now();
-    let w = &mut sim.world;
-    // Per-shard checksums are computed over the in-memory bytes; the
-    // *stored* copy may then rot at rest (the fault plan's rot arm), in
-    // which case verification at restore time catches the mismatch.
-    let mut sums: Vec<Vec<u64>> = Vec::with_capacity(snap.per_locality.len());
-    for shards in &mut snap.per_locality {
-        let mut row = Vec::with_capacity(shards.len());
-        for (_, bytes) in shards.iter_mut() {
-            row.push(frame::fnv1a64(bytes));
-            rot_payload(w, bytes);
-        }
-        sums.push(row);
+    // Both tiers are written (fast local restore + death-surviving
+    // remote replica); one locality's shards drain sequentially through
+    // each tier channel, distinct localities drain in parallel — the
+    // drain completes when the slowest locality's slower tier does.
+    let mut drain_ns = 0u64;
+    let mut stored_bytes = 0u64;
+    let mut stored_shards = 0u64;
+    for (loc, ids) in plan.iter().enumerate() {
+        let bytes: u64 = ids.iter().map(|id| fps[loc][id].1).sum();
+        let shards = ids.len() as u64;
+        stored_bytes += bytes;
+        stored_shards += shards;
+        let local = mgr.storage.write_ns(StorageTier::Local, shards, bytes);
+        let remote = mgr.storage.write_ns(StorageTier::Remote, shards, bytes);
+        drain_ns = drain_ns.max(local.max(remote));
     }
-    w.monitor.resilience.checkpoints += 1;
-    w.monitor.resilience.checkpoint_bytes += snap.bytes() as u64;
+    w.monitor.resilience.ckpt_fp_ns += fp_ns;
+    w.monitor.resilience.ckpt_drain_ns += drain_ns;
+    let completes_at = now + SimDuration::from_nanos(fp_ns + drain_ns);
+    for l in w.localities.iter_mut() {
+        l.dim.arm_snapshot();
+    }
+    w.pending_ckpt = Some(PendingCkpt {
+        phase,
+        kind,
+        plan,
+        fps,
+        started: now,
+        completes_at,
+        tasks_done,
+        logical_bytes,
+        stored_bytes,
+        stored_shards,
+    });
     let host = detector_host(w);
     trace_instant(
         w,
@@ -1463,14 +1642,142 @@ fn maybe_checkpoint(sim: &mut RtSim, prev_is_none: bool) {
         host,
         EventKind::Checkpoint {
             phase: phase as u32,
-            bytes: snap.bytes() as u64,
+            bytes: logical_bytes,
         },
     );
-    let tasks_done = w.monitor.total_tasks();
+    schedule_task_event(sim, completes_at, commit_pending_ckpt);
+    match mode {
+        CkptMode::Sync => {
+            // The classic blocking checkpoint: the boundary stalls for
+            // the scan plus the full drain.
+            sim.world.monitor.resilience.ckpt_stall_ns += fp_ns + drain_ns;
+            Some(completes_at)
+        }
+        CkptMode::Async => {
+            // Only the change-detection scan happens at the boundary;
+            // the drain overlaps the next phase's compute.
+            if fp_ns > 0 {
+                Some(now + SimDuration::from_nanos(fp_ns))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Commit the in-flight checkpoint: finish the copy-on-write capture
+/// (lazily serializing everything the phase never touched), keep only
+/// the planned shards, checksum them pre-rot, and hand the link to the
+/// resilience manager. Scheduled at the drain's completion time;
+/// idempotent (the boundary may have committed inline already) and
+/// epoch-guarded (a recovery tears the drain instead).
+fn commit_pending_ckpt(sim: &mut RtSim) {
+    let Some(p) = sim.world.pending_ckpt.take() else {
+        return;
+    };
+    let now = sim.now();
+    debug_assert!(p.completes_at <= now, "commit fired before the drain finished");
+    let w = &mut sim.world;
+    let full: Vec<Vec<(ItemId, Vec<u8>)>> = w
+        .localities
+        .iter_mut()
+        .map(|l| l.dim.finish_snapshot())
+        .collect();
+    let cow: u64 = w
+        .localities
+        .iter_mut()
+        .map(|l| l.dim.take_cow_captures())
+        .sum();
+    w.monitor.resilience.cow_captures += cow;
+    // Roster and stored shards come from the *boundary* state; checksums
+    // are computed over the in-memory bytes before the stored copy is
+    // exposed to at-rest rot, so a rotted shard fails verification at
+    // reconstruction time.
+    let roster: Vec<Vec<ItemId>> = full
+        .iter()
+        .map(|shards| shards.iter().map(|(id, _)| *id).collect())
+        .collect();
+    let mut shards: Vec<Vec<(ItemId, Vec<u8>)>> = Vec::with_capacity(full.len());
+    let mut sums: Vec<Vec<u64>> = Vec::with_capacity(full.len());
+    for (loc, row) in full.iter().enumerate() {
+        let mut kept = Vec::with_capacity(p.plan[loc].len());
+        let mut row_sums = Vec::with_capacity(p.plan[loc].len());
+        for (id, bytes) in row {
+            if p.plan[loc].binary_search(id).is_ok() {
+                row_sums.push(fnv1a_64(bytes));
+                kept.push((*id, bytes.clone()));
+            }
+        }
+        shards.push(kept);
+        sums.push(row_sums);
+    }
+    let entry = SavedCkpt {
+        phase: p.phase,
+        kind: p.kind,
+        shards,
+        sums,
+        roster,
+    };
+    let validate = {
+        let mgr = w.resilience.as_ref().expect("resilience enabled");
+        mgr.cfg.ckpt.validate_reconstruction
+    };
+    w.monitor.resilience.checkpoints += 1;
+    w.monitor.resilience.checkpoint_bytes += p.stored_bytes;
+    w.monitor.resilience.ckpt_logical_bytes += p.logical_bytes;
+    match p.kind {
+        CkptKind::Anchor => w.monitor.resilience.ckpt_anchors += 1,
+        CkptKind::Delta => w.monitor.resilience.ckpt_deltas += 1,
+    }
+    let mut rows = {
+        let mgr = w.resilience.as_mut().expect("resilience enabled");
+        mgr.save(entry, p.tasks_done);
+        mgr.last_fps = p.fps;
+        if validate {
+            // Test/debug aid (meaningful without rot injection): the
+            // anchor+delta chain must reconstruct the boundary state
+            // bit-for-bit.
+            let upto = mgr.saved.len() - 1;
+            let (snap, _) = reconstruct(&mgr.saved, upto, false)
+                .expect("committed chain must reconstruct");
+            assert_eq!(
+                snap.per_locality, full,
+                "delta reconstruction diverged from the full boundary snapshot"
+            );
+        }
+        std::mem::take(&mut mgr.saved.last_mut().expect("entry just saved").shards)
+    };
+    // At-rest rot strikes the *stored* copy only, after checksums and
+    // validation (rot_payload borrows the whole world, so the rows take
+    // a round trip out of the manager).
+    for row in rows.iter_mut() {
+        for (_, bytes) in row.iter_mut() {
+            rot_payload(w, bytes);
+        }
+    }
     w.resilience
         .as_mut()
         .expect("resilience enabled")
-        .save(phase, snap, sums, tasks_done);
+        .saved
+        .last_mut()
+        .expect("entry just saved")
+        .shards = rows;
+    let host = detector_host(w);
+    let epoch = w.run_epoch;
+    let dur = now - p.started;
+    w.trace.record(|| {
+        TraceEvent::span(
+            p.started.as_nanos(),
+            dur.as_nanos(),
+            host as u32,
+            EventKind::CheckpointDrain {
+                phase: p.phase as u32,
+                shards: p.stored_shards as u32,
+                bytes: p.stored_bytes,
+            },
+        )
+        .in_epoch(epoch)
+    });
 }
 
 // ------------------------------------------------------------------ serving
@@ -2125,7 +2432,28 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
             w.monitor.resilience.detection_latency_ns += (now - t0).as_nanos();
         }
     }
-    let (tasks_at_checkpoint, mut candidates) = {
+    // A drain still in flight is torn: its capture is abandoned on every
+    // locality and recovery proceeds from the last *committed*
+    // checkpoint — a partially drained snapshot is never restored from.
+    if let Some(p) = w.pending_ckpt.take() {
+        w.monitor.resilience.ckpt_torn += 1;
+        let mut cow = 0u64;
+        for l in w.localities.iter_mut() {
+            l.dim.abort_snapshot();
+            cow += l.dim.take_cow_captures();
+        }
+        w.monitor.resilience.cow_captures += cow;
+        let host = detector_host(w);
+        trace_instant(
+            w,
+            now,
+            host,
+            EventKind::CheckpointTorn {
+                phase: p.phase as u32,
+            },
+        );
+    }
+    let (tasks_at_checkpoint, mut chain) = {
         let mgr = w.resilience.as_mut().expect("resilience enabled");
         mgr.misses.fill(0);
         (mgr.tasks_at_checkpoint, std::mem::take(&mut mgr.saved))
@@ -2134,40 +2462,74 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
         .integrity
         .as_ref()
         .is_some_and(|m| m.cfg.verify_checkpoints);
-    let mut saved: Option<SavedCheckpoint> = None;
-    while let Some(c) = candidates.pop() {
-        if verify {
-            let bad: u64 = c
-                .snap
-                .per_locality
-                .iter()
-                .zip(&c.sums)
-                .map(|(shards, sums)| {
-                    shards
-                        .iter()
-                        .zip(sums)
-                        .filter(|((_, bytes), sum)| frame::fnv1a64(bytes) != **sum)
-                        .count() as u64
-                })
-                .sum();
-            if bad > 0 {
+    // Fall back newest-first across the retained points: each candidate
+    // is the full reconstruction of its anchor+delta chain, and every
+    // link is checksum-verified — a delta is only as good as the links
+    // under it. Rejected points stay dropped so a later recovery does
+    // not re-try them.
+    let mut saved: Option<(usize, Checkpoint)> = None;
+    let mut restore_delay_ns = 0u64;
+    let mut upto = chain.len();
+    while upto > 0 {
+        upto -= 1;
+        match reconstruct(&chain, upto, verify) {
+            Ok((snap, cost)) => {
+                if verify {
+                    w.monitor.integrity.ckpt_links_verified += cost.links;
+                }
+                // Bill the restore reads: survivors pull their shards
+                // from the fast local tier, a dead locality's shards
+                // only survive on the remote tier. Localities read in
+                // parallel; the restore completes at the slowest.
+                let mut read_ns = 0u64;
+                {
+                    let dead = w.dead.clone();
+                    let mgr = w.resilience.as_mut().expect("resilience enabled");
+                    for (loc, &is_dead) in dead.iter().enumerate() {
+                        let tier = if is_dead {
+                            StorageTier::Remote
+                        } else {
+                            StorageTier::Local
+                        };
+                        let ns = mgr.storage.read_ns(tier, cost.shards[loc], cost.bytes[loc]);
+                        read_ns = read_ns.max(ns);
+                    }
+                }
+                w.monitor.resilience.recovery_read_ns += read_ns;
+                restore_delay_ns = read_ns;
+                saved = Some((chain[upto].phase, snap));
+                break;
+            }
+            Err(bad) => {
                 w.monitor.integrity.checkpoint_shards_rejected += bad;
                 w.monitor.integrity.checkpoint_fallbacks += 1;
-                continue; // corrupt checkpoint abandoned for good
             }
         }
-        saved = Some(c);
-        break;
     }
-    // Reinstate the surviving history (older candidates + the chosen
-    // checkpoint); rejected checkpoints stay dropped so a later recovery
-    // does not re-try them.
+    // Reinstate the surviving history and re-point incremental change
+    // detection at what was actually restored.
     {
+        chain.truncate(if saved.is_some() { upto + 1 } else { 0 });
         let mgr = w.resilience.as_mut().expect("resilience enabled");
-        mgr.saved = candidates;
-        if let Some(c) = &saved {
-            mgr.saved.push(c.clone());
-        }
+        mgr.saved = chain;
+        mgr.since_anchor = mgr
+            .saved
+            .iter()
+            .rev()
+            .take_while(|s| s.kind == CkptKind::Delta)
+            .count();
+        mgr.last_fps = match &saved {
+            Some((_, snap)) => snap
+                .per_locality
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|(id, b)| (*id, (fnv1a_64(b), b.len() as u64)))
+                        .collect()
+                })
+                .collect(),
+            None => vec![BTreeMap::new(); w.localities.len()],
+        };
     }
     let reexecuted = w.monitor.total_tasks().saturating_sub(tasks_at_checkpoint);
     w.monitor.resilience.tasks_reexecuted += reexecuted;
@@ -2195,7 +2557,7 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
     }
     let nodes = w.localities.len();
     let grafted: u64 = match saved {
-        Some(SavedCheckpoint { phase, snap, .. }) => {
+        Some((phase, snap)) => {
             // Pass 1: rewind every survivor, wipe every dead locality
             // (fail-stop: a crashed process loses its volatile data).
             for p in 0..nodes {
@@ -2260,9 +2622,10 @@ fn detect_and_recover(sim: &mut RtSim, dead: usize) {
             restored_bytes: grafted,
         },
     );
-    // Replay from the restored boundary (guarded: a second recovery
-    // before this fires would supersede it).
-    schedule_task_event(sim, now, |sim| advance_phase(sim, None));
+    // Replay from the restored boundary once the tier reads land
+    // (guarded: a second recovery before this fires would supersede it).
+    let resume = now + SimDuration::from_nanos(restore_delay_ns);
+    schedule_task_event(sim, resume, |sim| advance_phase(sim, None));
 }
 
 // -------------------------------------------------------------- Algorithm 2

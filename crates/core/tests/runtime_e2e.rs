@@ -1298,3 +1298,203 @@ fn torus_cluster_end_to_end() {
     );
     assert!(report.remote_msgs > 0);
 }
+
+/// Retention-depth regression (`CheckpointConfig::keep`): with the two
+/// newest retained checkpoints corrupted at rest, recovery must fall
+/// back past both rejected links. A depth of 4 lands on the
+/// third-newest checkpoint; the old fixed depth of 2 has nothing left
+/// and restarts from scratch. Both runs still produce exact results.
+#[test]
+fn recovery_falls_back_the_configured_retention_depth() {
+    use allscale_core::{CheckpointConfig, CkptMode};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    const N: i64 = 96;
+    const STEPS: usize = 4;
+
+    // Like `bump_roundtrip`, but the driver flips a byte in the two
+    // newest retained checkpoints at the last bump boundary — targeted
+    // at-rest corruption via the test hook, no random rot arm.
+    fn run(cfg: RtConfig, corrupt: bool) -> (u64, usize, allscale_core::RunReport) {
+        type DriverState = (Option<Grid<f64, 1>>, u64, usize);
+        let st: Rc<RefCell<DriverState>> = Rc::new(RefCell::new((None, 0, 0)));
+        let s2 = st.clone();
+        let rt = Runtime::new(cfg);
+        let report = rt.run(
+            move |phase: usize,
+                  ctx: &mut RtCtx<'_>,
+                  _prev: TaskValue|
+                  -> Option<Box<dyn WorkItem>> {
+                if phase == 0 {
+                    let g = Grid::<f64, 1>::create(ctx, "v", [N]);
+                    s2.borrow_mut().0 = Some(g);
+                    return Some(pfor(
+                        PforSpec {
+                            name: "fill",
+                            range: g.full_box(),
+                            grain: 12,
+                            ns_per_point: 4.0,
+                            axis0_pieces: 8,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| g.set(tctx, p.0, p[0] as f64),
+                    ));
+                }
+                let g = s2.borrow().0.unwrap();
+                if phase <= STEPS {
+                    if corrupt && phase == STEPS {
+                        s2.borrow_mut().2 = ctx.retained_checkpoints();
+                        ctx.corrupt_newest_checkpoints(2);
+                    }
+                    return Some(pfor(
+                        PforSpec {
+                            name: "bump",
+                            range: g.full_box(),
+                            grain: 12,
+                            ns_per_point: 4.0,
+                            axis0_pieces: 8,
+                        },
+                        move |tile| vec![Requirement::write(g.id, BoxRegion::from_box(*tile))],
+                        move |tctx, p| {
+                            let v = g.get(tctx, p.0);
+                            g.set(tctx, p.0, v + 1.0);
+                        },
+                    ));
+                }
+                let mut seen = 0u64;
+                for loc in 0..ctx.nodes() {
+                    let frag = ctx.fragment_at::<GridFragment<f64, 1>>(loc, g.id);
+                    frag.for_each(|p, v| {
+                        assert_eq!(*v, p[0] as f64 + STEPS as f64, "cell {p:?}");
+                        seen += 1;
+                    });
+                }
+                assert_eq!(seen, N as u64, "grid fully covered after faults");
+                s2.borrow_mut().1 = seen;
+                None
+            },
+        );
+        let (seen, retained) = (st.borrow().1, st.borrow().2);
+        (seen, retained, report)
+    }
+
+    // Blocking full snapshots keep the commit/corruption ordering at the
+    // boundary trivial; cadence 1 fills the retention window quickly.
+    let res = |keep: usize, heartbeat: SimDuration| ResilienceConfig {
+        checkpoint_every: 1,
+        ckpt: CheckpointConfig {
+            mode: CkptMode::Sync,
+            incremental: false,
+            keep,
+            ..CheckpointConfig::default()
+        },
+        heartbeat_period: heartbeat,
+        ..ResilienceConfig::default()
+    };
+    // Size the kill against the identically billed clean run: right
+    // after the last bump boundary's corruption, early enough that
+    // detection and recovery land before the wrap-up boundary.
+    let mut cfg = config(4, 2);
+    cfg.resilience = Some(res(4, SimDuration::from_micros(50)));
+    cfg = cfg.with_integrity(IntegrityConfig {
+        scrub_period: None,
+        ..IntegrityConfig::default()
+    });
+    let (_, _, clean) = run(cfg, false);
+    let total = clean.finish_time.as_nanos();
+    let hb = SimDuration::from_nanos((total / 200).max(100));
+
+    // Depth 4: fall back across the two rejected checkpoints onto the
+    // third-newest and restore from it.
+    let mut plan = FaultPlan::new(0x4ee9);
+    plan.kill_at(2, SimTime::from_nanos(total * 85 / 100));
+    let mut cfg4 = config(4, 2);
+    cfg4.faults = Some(plan.clone());
+    cfg4.resilience = Some(res(4, hb));
+    cfg4 = cfg4.with_integrity(IntegrityConfig {
+        scrub_period: None,
+        ..IntegrityConfig::default()
+    });
+    let (seen, retained, report) = run(cfg4, true);
+    assert_eq!(seen, 96, "exact results after the deep fallback");
+    assert_eq!(retained, 4, "keep=4 retains four checkpoints");
+    let g = &report.monitor.integrity;
+    assert!(
+        g.checkpoint_fallbacks >= 2 && g.checkpoint_shards_rejected >= 2,
+        "both corrupted checkpoints must be rejected ({g:?})"
+    );
+    let r = &report.monitor.resilience;
+    assert!(r.recoveries >= 1, "{r:?}");
+    assert!(
+        r.restored_bytes > 0,
+        "depth 4 restores a surviving checkpoint instead of restarting ({r:?})"
+    );
+
+    // Depth 2 (the old fixed limit): every retained checkpoint is
+    // corrupt, so the same fault forces a full restart.
+    let mut cfg2 = config(4, 2);
+    cfg2.faults = Some(plan);
+    cfg2.resilience = Some(res(2, hb));
+    cfg2 = cfg2.with_integrity(IntegrityConfig {
+        scrub_period: None,
+        ..IntegrityConfig::default()
+    });
+    let (seen, retained, report) = run(cfg2, true);
+    assert_eq!(seen, 96, "the restarted run still produces exact results");
+    assert_eq!(retained, 2, "keep=2 retains two checkpoints");
+    let r = &report.monitor.resilience;
+    assert_eq!(
+        r.restored_bytes, 0,
+        "with the whole window rejected, recovery restarts from scratch ({r:?})"
+    );
+    assert!(report.monitor.integrity.checkpoint_fallbacks >= 2);
+}
+
+/// A failure that strikes while an asynchronous drain is still in
+/// flight must tear the pending capture (never restore a partially
+/// drained snapshot) and recover from the last *committed* checkpoint —
+/// and the replay still produces exact results.
+#[test]
+fn mid_drain_kill_recovers_from_last_committed_checkpoint() {
+    use allscale_core::{CheckpointConfig, StorageParams};
+
+    // Slow the remote tier far below the phase rate so a drain is in
+    // flight essentially all the time (every boundary write-fences).
+    let res = |heartbeat: SimDuration| {
+        let ck = CheckpointConfig {
+            storage: StorageParams {
+                remote_write_bps: 10e6,
+                ..StorageParams::default()
+            },
+            ..CheckpointConfig::default()
+        };
+        ResilienceConfig {
+            checkpoint_every: 1,
+            ckpt: ck,
+            heartbeat_period: heartbeat,
+            ..ResilienceConfig::default()
+        }
+    };
+    let mut cfg = config(4, 2);
+    cfg.resilience = Some(res(SimDuration::from_micros(50)));
+    let (_, clean) = bump_roundtrip(cfg, 2);
+    let total = clean.finish_time.as_nanos();
+
+    let mut plan = FaultPlan::new(0x70c4);
+    plan.kill_at(2, SimTime::from_nanos(total / 2));
+    let mut cfg = config(4, 2);
+    cfg.faults = Some(plan);
+    cfg.resilience = Some(res(SimDuration::from_nanos((total / 100).max(100))));
+    let (seen, report) = bump_roundtrip(cfg, 2);
+    assert_eq!(seen, 96, "exact results after the torn drain");
+    let r = &report.monitor.resilience;
+    assert!(
+        r.ckpt_torn >= 1,
+        "the kill must land mid-drain and tear the capture ({r:?})"
+    );
+    assert!(r.recoveries >= 1, "{r:?}");
+    assert!(
+        r.ckpt_fence_ns > 0,
+        "boundaries must have write-fenced on the slow drains ({r:?})"
+    );
+}

@@ -10,6 +10,9 @@
 //! - [`FatTree`] / [`SingleSwitch`]: hop-count topologies;
 //! - [`Network`]: LogGP-style accounting (latency + bandwidth + per-NIC
 //!   occupancy) shared by the AllScale runtime and the MPI baseline;
+//! - [`StorageModel`]: the two-tier checkpoint store (fast node-local
+//!   tier lost with its locality, slower off-ring remote tier that
+//!   survives deaths), billed on the same simulated clock;
 //! - [`ClusterSpec`]: one machine description used by both systems.
 
 #![warn(missing_docs)]
@@ -19,6 +22,7 @@ pub mod coalesce;
 pub mod fault;
 pub mod frame;
 mod network;
+mod storage;
 mod topology;
 pub mod wire;
 
@@ -27,4 +31,5 @@ pub use coalesce::{Batch, BatchParams, Coalescer, Enqueue, FlushCause};
 pub use fault::{FaultPlan, RetryPolicy, TransferFault, Verdict};
 pub use frame::{FrameError, FRAME_OVERHEAD};
 pub use network::{Delivered, NetParams, Network, TrafficStats};
+pub use storage::{StorageModel, StorageParams, StorageStats, StorageTier};
 pub use topology::{AnyTopology, FatTree, NodeId, SingleSwitch, Topology, Torus2D};

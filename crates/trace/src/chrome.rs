@@ -211,6 +211,18 @@ fn args_of(ev: &TraceEvent) -> String {
             put("phase", phase.to_string());
             put("bytes", bytes.to_string());
         }
+        EventKind::CheckpointDrain {
+            phase,
+            shards,
+            bytes,
+        } => {
+            put("phase", phase.to_string());
+            put("shards", shards.to_string());
+            put("bytes", bytes.to_string());
+        }
+        EventKind::CheckpointFence { phase } | EventKind::CheckpointTorn { phase } => {
+            put("phase", phase.to_string());
+        }
         EventKind::Suspicion { suspect, misses } => {
             put("suspect", suspect.to_string());
             put("misses", misses.to_string());

@@ -279,6 +279,29 @@ pub enum EventKind {
         /// Serialized size of the snapshot.
         bytes: u64,
     },
+    /// An asynchronous checkpoint draining to the storage tiers in the
+    /// background (span from capture to durable commit, locality 0).
+    CheckpointDrain {
+        /// Phase boundary the snapshot belongs to.
+        phase: u32,
+        /// Shards persisted (all of them for an anchor, changed ones
+        /// for a delta).
+        shards: u32,
+        /// Bytes written to each storage tier.
+        bytes: u64,
+    },
+    /// A phase boundary stalled on the write-fence because the previous
+    /// checkpoint's drain had not finished (span, locality 0).
+    CheckpointFence {
+        /// The boundary that waited.
+        phase: u32,
+    },
+    /// An in-flight checkpoint was discarded torn because a recovery
+    /// interrupted its drain (instant, locality 0).
+    CheckpointTorn {
+        /// The boundary whose snapshot was abandoned.
+        phase: u32,
+    },
     /// The failure detector counted a missed heartbeat (instant).
     Suspicion {
         /// The suspected locality.
@@ -413,6 +436,9 @@ impl EventKind {
             EventKind::ScrubRepair { .. } => "scrub-repair",
             EventKind::Quarantine { .. } => "quarantine",
             EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::CheckpointDrain { .. } => "ckpt-drain",
+            EventKind::CheckpointFence { .. } => "ckpt-fence",
+            EventKind::CheckpointTorn { .. } => "ckpt-torn",
             EventKind::Suspicion { .. } => "suspicion",
             EventKind::Recovery { .. } => "recovery",
             EventKind::StealRequest { .. } => "steal-request",
@@ -452,6 +478,9 @@ impl EventKind {
             | EventKind::ScrubRepair { .. }
             | EventKind::Quarantine { .. } => "integrity",
             EventKind::Checkpoint { .. }
+            | EventKind::CheckpointDrain { .. }
+            | EventKind::CheckpointFence { .. }
+            | EventKind::CheckpointTorn { .. }
             | EventKind::Suspicion { .. }
             | EventKind::Recovery { .. } => "resilience",
             EventKind::StealRequest { .. }

@@ -1,0 +1,118 @@
+//! The checkpoint pipeline's recovery-time/overhead frontier
+//! (EXPERIMENTS.md C1): checkpoints billed against a two-tier store,
+//! ablated across the pipeline's two axes —
+//!
+//! - **mode**: blocking (`Sync`, the boundary stalls for the full
+//!   drain) vs copy-on-write (`Async`, the drain overlaps the next
+//!   phase's compute and only write-fences if it has not landed by the
+//!   next boundary);
+//! - **incrementality**: full snapshots every time vs fingerprint-keyed
+//!   deltas between periodic full anchors.
+//!
+//! The stencil mutates one of its two buffers per step, so deltas halve
+//! the drained bytes and the async drain hides entirely behind the
+//! step's compute. The example prints the frontier table, asserts the
+//! async+incremental arm costs at most a third of the sync-full
+//! baseline's makespan overhead, and finishes with a fail-stop kill
+//! mid-run that recovers bit-identically to the clean trajectory.
+//!
+//! ```text
+//! cargo run --release --example checkpointing
+//! ```
+
+use allscale_apps::stencil::{allscale_version, StencilConfig};
+use allscale_core::{
+    CheckpointConfig, CkptMode, FaultPlan, ResilienceConfig, RtConfig,
+};
+use allscale_des::{SimDuration, SimTime};
+
+fn stencil() -> StencilConfig {
+    StencilConfig {
+        steps: 6,
+        // Scale the per-cell work so one time step outlasts a full
+        // remote-tier drain — the regime async checkpointing targets.
+        work_scale: 150.0,
+        ..StencilConfig::small(4)
+    }
+}
+
+fn with_ckpt(ckpt: CheckpointConfig) -> RtConfig {
+    let mut rt = RtConfig::test(4, 2);
+    rt.resilience = Some(ResilienceConfig {
+        checkpoint_every: 1,
+        ckpt,
+        ..ResilienceConfig::default()
+    });
+    rt
+}
+
+fn main() {
+    let cfg = stencil();
+    let (base_res, base) = allscale_version::run_with_report(&cfg, RtConfig::test(4, 2));
+    assert!(base_res.validated);
+    let base_ns = base.finish_time.as_nanos();
+    println!("stencil {} steps, no checkpoints: {:>9} ns makespan\n", cfg.steps, base_ns);
+
+    println!(
+        "{:<11} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "pipeline", "overhead ns", "stored B", "stall ns", "fence ns", "scan ns"
+    );
+    let mut table = Vec::new();
+    for (mode, incremental, label) in [
+        (CkptMode::Sync, false, "sync-full"),
+        (CkptMode::Sync, true, "sync-inc"),
+        (CkptMode::Async, false, "async-full"),
+        (CkptMode::Async, true, "async-inc"),
+    ] {
+        let ckpt = CheckpointConfig {
+            mode,
+            incremental,
+            ..CheckpointConfig::default()
+        };
+        let (res, report) = allscale_version::run_with_report(&cfg, with_ckpt(ckpt));
+        assert!(res.validated, "{label} must not perturb the result");
+        let overhead = report.finish_time.as_nanos().saturating_sub(base_ns);
+        let r = &report.monitor.resilience;
+        println!(
+            "{label:<11} {overhead:>12} {:>12} {:>10} {:>10} {:>10}",
+            r.checkpoint_bytes, r.ckpt_stall_ns, r.ckpt_fence_ns, r.ckpt_fp_ns
+        );
+        table.push((label, overhead));
+    }
+    let sync_full = table[0].1;
+    let async_inc = table[3].1;
+    assert!(
+        async_inc * 3 <= sync_full,
+        "async+incremental ({async_inc} ns) must cost at most a third of \
+         sync-full ({sync_full} ns)"
+    );
+    println!(
+        "\nasync+incremental pays {:.1}% of the sync-full overhead ✓",
+        async_inc as f64 / sync_full as f64 * 100.0
+    );
+
+    // Recovery: kill a locality mid-run; the restored anchor+delta
+    // chain replays onto the exact clean trajectory.
+    let (clean, clean_report) =
+        allscale_version::run_with_report(&cfg, with_ckpt(CheckpointConfig::default()));
+    let total = clean_report.finish_time.as_nanos();
+    let mut plan = FaultPlan::new(0xf2a9);
+    plan.kill_at(2, SimTime::from_nanos(total * 55 / 100));
+    let mut rt = with_ckpt(CheckpointConfig::default());
+    rt.faults = Some(plan);
+    rt.resilience.as_mut().unwrap().heartbeat_period =
+        SimDuration::from_nanos((total / 100).max(1_000));
+    let (recovered, report) = allscale_version::run_with_report(&cfg, rt);
+    let r = &report.monitor.resilience;
+    assert!(r.recoveries >= 1, "the kill must land ({r:?})");
+    assert_eq!(
+        recovered.checksum, clean.checksum,
+        "recovery must be bit-identical to the clean run"
+    );
+    assert!(recovered.validated);
+    println!(
+        "kill at 55% recovered from the last committed checkpoint \
+         ({} restored bytes, {} ns tier reads), checksum {:#018x} ✓",
+        r.restored_bytes, r.recovery_read_ns, recovered.checksum
+    );
+}

@@ -164,3 +164,55 @@ fn overload_shedding_turns_away_reads_only() {
         v.writes
     );
 }
+
+#[test]
+fn mid_drain_kill_loses_no_acknowledged_write() {
+    use allscale_core::{CheckpointConfig, StorageParams};
+
+    // Slow the remote checkpoint tier far below the serving rate so an
+    // asynchronous drain is in flight essentially all the time, then
+    // land the kill mid-run: it must tear the pending capture and
+    // recover from the last *committed* checkpoint — and the write
+    // oracle inside `run_with` still proves no acknowledged write lost.
+    let cfg = small_cfg();
+    let ckpt = |storage: StorageParams| CheckpointConfig {
+        storage,
+        ..CheckpointConfig::default()
+    };
+    let slow = StorageParams {
+        remote_write_bps: 0.5e6,
+        ..StorageParams::default()
+    };
+    let mut rt = RtConfig::test(4, 2);
+    rt.resilience = Some(ResilienceConfig {
+        checkpoint_every: 1,
+        ckpt: ckpt(slow),
+        ..ResilienceConfig::default()
+    });
+    let clean = run_with(&cfg, rt);
+    let total_ns = clean.report.finish_time.as_nanos();
+
+    let mut plan = FaultPlan::new(0xd4a1);
+    plan.kill_at(2, SimTime::from_nanos(total_ns * 15 / 100));
+    let mut rt = RtConfig::test(4, 2);
+    rt.faults = Some(plan);
+    rt.resilience = Some(ResilienceConfig {
+        checkpoint_every: 1,
+        ckpt: ckpt(slow),
+        heartbeat_period: SimDuration::from_nanos((total_ns / 100).max(1_000)),
+        ..ResilienceConfig::default()
+    });
+    let out = run_with(&cfg, rt);
+    let v = &out.report.monitor.serve;
+    assert!(
+        v.completed + v.shed >= cfg.requests,
+        "every planned request is served in some epoch"
+    );
+    let r = &out.report.monitor.resilience;
+    assert!(r.recoveries >= 1, "the kill must actually trigger recovery");
+    assert!(
+        r.ckpt_torn >= 1,
+        "the kill must land mid-drain and tear the capture ({r:?})"
+    );
+    assert_eq!(out.keys_checked, cfg.keys, "full key space verified");
+}
